@@ -1,0 +1,92 @@
+"""E1 — Figure 2: the fast crash-model register.
+
+Paper claim: with ``R < S/t - 2`` every read and write completes in one
+communication round-trip, halving read latency versus ABD's two-round
+read and beating the max-min register's three-hop read, while remaining
+atomic and wait-free.
+
+Measured shape: with one simulated time unit per message hop, mean read
+latency is exactly 2 hops (fast) vs 3 (max-min) vs 4 (ABD); the fastness
+checker certifies one client round and immediate server replies; the
+atomicity checker certifies the histories.
+"""
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.workloads import ClosedLoopWorkload
+
+from benchmarks.conftest import HOP, MEDIUM, measured_run, read_write_means
+
+CONFIG_FAST = ClusterConfig(S=8, t=1, R=3)
+CONFIG_MAJORITY = ClusterConfig(S=8, t=1, R=3)
+
+
+def test_fast_crash_read_latency(benchmark):
+    result = benchmark(lambda: measured_run("fast-crash", CONFIG_FAST, seed=1))
+    assert result.check_atomic().ok
+    assert result.check_fast().ok
+    means = read_write_means(result)
+    # one round-trip = exactly two hops
+    assert means["read_mean"] == pytest.approx(2.0)
+    assert means["write_mean"] == pytest.approx(2.0)
+    benchmark.extra_info.update(means)
+    benchmark.extra_info["rounds"] = str(result.rounds())
+
+
+def test_abd_read_latency_is_two_roundtrips(benchmark):
+    result = benchmark(lambda: measured_run("abd", CONFIG_MAJORITY, seed=1))
+    assert result.check_atomic().ok
+    means = read_write_means(result)
+    assert means["read_mean"] == pytest.approx(4.0)
+    assert means["write_mean"] == pytest.approx(2.0)
+    benchmark.extra_info.update(means)
+
+
+def test_maxmin_read_latency_is_three_hops(benchmark):
+    result = benchmark(lambda: measured_run("maxmin", CONFIG_MAJORITY, seed=1))
+    assert result.check_atomic().ok
+    means = read_write_means(result)
+    assert means["read_mean"] == pytest.approx(3.0)
+    benchmark.extra_info.update(means)
+
+
+def test_fast_reads_win_under_contention(benchmark):
+    """The ordering fast < maxmin < abd survives concurrency and random
+    latencies, not just the sequential constant-latency picture."""
+    from repro.sim.latency import ExponentialLatency
+
+    def run_all():
+        out = {}
+        for protocol in ("fast-crash", "maxmin", "abd"):
+            result = measured_run(
+                protocol,
+                CONFIG_FAST,
+                seed=7,
+                workload=ClosedLoopWorkload.contention(ops=8),
+                latency=ExponentialLatency(mean=1.0),
+            )
+            assert result.check_atomic().ok
+            out[protocol] = read_write_means(result)["read_mean"]
+        return out
+
+    means = benchmark(run_all)
+    assert means["fast-crash"] < means["maxmin"] < means["abd"]
+    benchmark.extra_info["read_means"] = {k: round(v, 3) for k, v in means.items()}
+
+
+def test_fast_crash_scales_in_servers(benchmark):
+    """Fast read latency is flat in S (quorum waits, no extra rounds)."""
+
+    def run_sizes():
+        means = {}
+        for S in (6, 12, 18, 24):
+            config = ClusterConfig(S=S, t=1, R=3)
+            result = measured_run("fast-crash", config, seed=2)
+            assert result.check_atomic().ok
+            means[S] = read_write_means(result)["read_mean"]
+        return means
+
+    means = benchmark(run_sizes)
+    assert all(value == pytest.approx(2.0) for value in means.values())
+    benchmark.extra_info["read_mean_by_S"] = means

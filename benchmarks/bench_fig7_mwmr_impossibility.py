@@ -1,0 +1,57 @@
+"""E5 — Figure 7 / Proposition 11: no fast MWMR register.
+
+Paper claim: even with ``W = R = 2`` and a single crash-prone server, no
+fast multi-writer atomic register exists.  The proof chains runs
+``run^1..run^{S+1}`` that flip one server's processing order at a time
+and extends the flip point with a second reader.
+
+Measured shape: the chain executed against the naive one-round MWMR
+candidate finds a concrete P1/P2 violation (for the naive strawman,
+already at ``run^1``); the two-round MWMR baseline passes the entire
+sequential run family at every size — pinning the impossibility on
+fastness, not on multi-writer registers per se.
+"""
+
+import pytest
+
+from repro.bounds.mwmr_construction import (
+    run_mwmr_impossibility,
+    run_sequential_family,
+)
+
+
+@pytest.mark.parametrize("S", [3, 5, 8])
+def test_chain_breaks_naive_candidate(benchmark, S):
+    result = benchmark(lambda: run_mwmr_impossibility(S=S))
+    assert result.violated
+    hit = result.first_violation
+    benchmark.extra_info["S"] = S
+    benchmark.extra_info["violating_run"] = hit.label
+    benchmark.extra_info["read_values"] = {
+        k: str(v) for k, v in hit.read_values.items()
+    }
+
+
+def test_sequential_family_naive_fails(benchmark):
+    result = benchmark(
+        lambda: run_sequential_family(S=5, protocol="naive-fast-mwmr")
+    )
+    assert result.violated
+    benchmark.extra_info["violating_run"] = result.first_violation.label
+
+
+@pytest.mark.parametrize("S", [3, 5])
+def test_two_round_baseline_passes_everywhere(benchmark, S):
+    result = benchmark(lambda: run_sequential_family(S=S, protocol="mwmr"))
+    assert not result.violated, result.describe()
+    benchmark.extra_info["runs_checked"] = len(result.outcomes)
+
+
+def test_read_value_flip_table(benchmark):
+    """Record the per-run read values — the r1 column of the proof."""
+    result = benchmark(lambda: run_mwmr_impossibility(S=6))
+    table = result.read_value_table()
+    benchmark.extra_info["read_values_by_run"] = [
+        f"{label}: {value}" for label, value in table
+    ]
+    assert result.violated

@@ -1,0 +1,112 @@
+"""E9 — scalability: throughput and latency vs system and reader scale.
+
+A systems-flavoured extension of the Section 8 trade-off discussion: how
+do the protocols behave as the deployment grows?  (The paper's model is
+asynchronous, so 'latency' is simulated message delays, not Python
+speed.)
+
+Measured shape: fast-read latency is flat in both S and R (while the
+feasibility condition holds); ABD reads stay at twice the fast latency
+at every scale; aggregate read throughput grows with reader count for
+both since readers work independently — the difference is purely
+per-operation latency and message count, exactly what the paper's
+time-complexity lens predicts.
+"""
+
+import pytest
+
+from repro.analysis.metrics import latency_by_kind, throughput
+from repro.registers.base import ClusterConfig
+from repro.workloads import ClosedLoopWorkload
+
+from benchmarks.conftest import HOP, measured_run
+
+
+def test_latency_vs_servers(benchmark):
+    def measure():
+        table = {}
+        for S in (6, 10, 14, 18, 22):
+            fast_cfg = ClusterConfig(S=S, t=1, R=3)
+            abd_cfg = ClusterConfig(S=S, t=1, R=3)
+            fast = measured_run("fast-crash", fast_cfg, seed=2)
+            abd = measured_run("abd", abd_cfg, seed=2)
+            table[S] = (
+                latency_by_kind(fast.history)["read"].mean,
+                latency_by_kind(abd.history)["read"].mean,
+            )
+        return table
+
+    table = benchmark(measure)
+    for S, (fast_mean, abd_mean) in table.items():
+        assert fast_mean == pytest.approx(2.0)
+        assert abd_mean == pytest.approx(4.0)
+    benchmark.extra_info["read_mean_by_S"] = {
+        S: {"fast": f, "abd": a} for S, (f, a) in table.items()
+    }
+
+
+def test_latency_vs_readers(benchmark):
+    """Reader scale: latency flat while R < S/t - 2 holds (S=20, t=1
+    supports up to 17 readers)."""
+
+    def measure():
+        table = {}
+        for R in (1, 4, 8, 16):
+            config = ClusterConfig(S=20, t=1, R=R)
+            result = measured_run(
+                "fast-crash",
+                config,
+                seed=3,
+                workload=ClosedLoopWorkload(reads_per_reader=5, writes_per_writer=5),
+            )
+            assert result.check_atomic().ok
+            table[R] = latency_by_kind(result.history)["read"].mean
+        return table
+
+    table = benchmark(measure)
+    assert all(value == pytest.approx(2.0) for value in table.values())
+    benchmark.extra_info["read_mean_by_R"] = table
+
+
+def test_throughput_vs_readers(benchmark):
+    """Aggregate completed reads per simulated second grow with R."""
+
+    def measure():
+        table = {}
+        for R in (2, 6, 12):
+            config = ClusterConfig(S=16, t=1, R=R)
+            result = measured_run(
+                "fast-crash",
+                config,
+                seed=4,
+                workload=ClosedLoopWorkload(
+                    reads_per_reader=8, writes_per_writer=4, think_time_mean=1.0
+                ),
+            )
+            table[R] = throughput(result.history)
+        return table
+
+    table = benchmark(measure)
+    assert table[12] > table[2]
+    benchmark.extra_info["throughput_by_R"] = {
+        k: round(v, 3) for k, v in table.items()
+    }
+
+
+def test_wallclock_cost_of_simulation(benchmark):
+    """Meta-benchmark: events per simulated run, as a regression canary
+    for the simulator itself."""
+    config = ClusterConfig(S=12, t=1, R=4)
+
+    def run():
+        return measured_run(
+            "fast-crash",
+            config,
+            seed=5,
+            workload=ClosedLoopWorkload(reads_per_reader=20, writes_per_writer=10),
+        )
+
+    result = benchmark(run)
+    benchmark.extra_info["events"] = result.events_executed
+    benchmark.extra_info["messages"] = result.messages_sent()
+    assert result.events_executed > 0

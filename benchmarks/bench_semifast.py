@@ -1,0 +1,114 @@
+"""E11 — the semifast extension: what you can salvage beyond the bound.
+
+Once ``R >= S/t - 2``, the paper proves *every*-read-fast is impossible.
+The semifast register (uniform quorum → 1 round; disagreement →
+write-back) is the natural salvage: atomic for any ``R`` with
+``t < S/2``, with a *fraction* of fast reads that degrades gracefully
+with write contention.
+
+Measured shape: the fast-read ratio is ~1 for read-mostly workloads and
+falls with write rate; mean read latency interpolates between the fast
+protocol's 2 hops and ABD's 4 hops; atomicity holds at every point.
+This quantifies the exact cost of living beyond the Proposition 5 line.
+"""
+
+import pytest
+
+from repro.analysis.metrics import latency_by_kind
+from repro.registers.base import ClusterConfig
+from repro.registers.semifast import fast_read_ratio
+from repro.workloads import ClosedLoopWorkload, run_workload
+
+from benchmarks.conftest import HOP
+
+# 6 readers on S=5, t=2: far beyond Figure 2's threshold (maxR = 0).
+CONFIG = ClusterConfig(S=5, t=2, R=6)
+
+
+def _run(workload, seed=0):
+    captured = {}
+
+    def hook(cluster):
+        captured["cluster"] = cluster
+
+    result = run_workload(
+        "semifast",
+        CONFIG,
+        workload=workload,
+        seed=seed,
+        latency=HOP,
+        cluster_hook=hook,
+    )
+    return result, captured["cluster"]
+
+
+def test_read_mostly_is_mostly_fast(benchmark):
+    workload = ClosedLoopWorkload(
+        reads_per_reader=15, writes_per_writer=2, think_time_mean=4.0
+    )
+    result, cluster = benchmark(lambda: _run(workload, seed=1))
+    assert result.check_atomic().ok
+    ratio = fast_read_ratio(cluster)
+    assert ratio > 0.8
+    benchmark.extra_info["fast_read_ratio"] = round(ratio, 3)
+    benchmark.extra_info["read_mean"] = round(
+        latency_by_kind(result.history)["read"].mean, 3
+    )
+
+
+def test_ratio_degrades_with_write_contention(benchmark):
+    # Jittered latency: with constant delays a write lands at all
+    # servers simultaneously and no read ever observes a mixed quorum.
+    from repro.sim.latency import UniformLatency
+
+    def sweep():
+        ratios = {}
+        for writes in (0, 4, 12, 30):
+            workload = ClosedLoopWorkload(
+                reads_per_reader=10,
+                writes_per_writer=writes,
+                think_time_mean=0.5,
+            )
+            captured = {}
+            result = run_workload(
+                "semifast",
+                CONFIG,
+                workload=workload,
+                seed=2,
+                latency=UniformLatency(0.2, 2.5),
+                cluster_hook=lambda cluster: captured.update(cluster=cluster),
+            )
+            assert result.check_atomic().ok
+            ratios[writes] = fast_read_ratio(captured["cluster"])
+        return ratios
+
+    ratios = benchmark(sweep)
+    assert ratios[0] == 1.0  # no writes: every read fast
+    assert ratios[30] < ratios[0]  # contention costs rounds
+    benchmark.extra_info["fast_ratio_by_writes"] = {
+        k: round(v, 3) for k, v in ratios.items()
+    }
+
+
+def test_latency_between_fast_and_abd(benchmark):
+    """Semifast mean read latency sits in [2, 4] hops and below ABD's."""
+    workload = ClosedLoopWorkload(
+        reads_per_reader=10, writes_per_writer=10, think_time_mean=0.5
+    )
+
+    def measure():
+        semi, _ = _run(workload, seed=3)
+        abd = run_workload(
+            "abd", ClusterConfig(S=5, t=2, R=6), workload=workload, seed=3,
+            latency=HOP,
+        )
+        return semi, abd
+
+    semi, abd = benchmark(measure)
+    assert semi.check_atomic().ok and abd.check_atomic().ok
+    semi_mean = latency_by_kind(semi.history)["read"].mean
+    abd_mean = latency_by_kind(abd.history)["read"].mean
+    assert 2.0 <= semi_mean <= abd_mean
+    assert abd_mean == pytest.approx(4.0)
+    benchmark.extra_info["semifast_read_mean"] = round(semi_mean, 3)
+    benchmark.extra_info["abd_read_mean"] = round(abd_mean, 3)

@@ -1,0 +1,114 @@
+"""E8 — time and message complexity across every protocol.
+
+Paper context (Sections 1, 8): the whole point of the fast register is
+time-complexity — one round-trip instead of two — and the discussion
+contrasts decentralisation (max-min's server gossip) against the
+fast protocol's extra bookkeeping.
+
+Measured shape: client rounds per operation match the registry's
+declared structure for every protocol; per-read message counts scale as
+Θ(S) for the client-round protocols and Θ(S²) for max-min; the fastness
+checker's verdict agrees with each protocol's declared fast flags.
+"""
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import PROTOCOLS
+from repro.workloads import ClosedLoopWorkload
+
+from benchmarks.conftest import HOP, measured_run
+
+CONFIGS = {
+    "fast-crash": ClusterConfig(S=9, t=1, R=2),
+    "fast-byzantine": ClusterConfig(S=9, t=1, b=1, R=2),
+    "abd": ClusterConfig(S=9, t=1, R=2),
+    "maxmin": ClusterConfig(S=9, t=1, R=2),
+    "swsr-fast": ClusterConfig(S=9, t=1, R=1),
+    "regular-fast": ClusterConfig(S=9, t=1, R=2),
+    "mwmr": ClusterConfig(S=9, t=1, R=2, W=2),
+    "naive-fast-mwmr": ClusterConfig(S=9, t=1, R=2, W=2),
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(CONFIGS))
+def test_declared_round_structure(benchmark, protocol):
+    spec = PROTOCOLS[protocol]
+    config = CONFIGS[protocol]
+
+    result = benchmark(
+        lambda: measured_run(
+            protocol,
+            config,
+            seed=1,
+            workload=ClosedLoopWorkload(reads_per_reader=5, writes_per_writer=5),
+        )
+    )
+    rounds = result.rounds()
+    assert set(rounds.get("read", {spec.read_rounds: 0})) == {spec.read_rounds}
+    assert set(rounds.get("write", {spec.write_rounds: 0})) == {spec.write_rounds}
+    fast_verdict = result.check_fast()
+    assert fast_verdict.ok == (spec.fast_reads and spec.fast_writes)
+    benchmark.extra_info["rounds"] = str(rounds)
+    benchmark.extra_info["fast"] = fast_verdict.ok
+
+
+def test_message_complexity_scaling(benchmark):
+    """Messages per read: Θ(S) for one-round protocols, Θ(S²) for
+    max-min's gossip."""
+
+    def measure():
+        per_read = {}
+        for protocol in ("fast-crash", "abd", "maxmin"):
+            counts = {}
+            for S in (5, 10, 20):
+                config = ClusterConfig(S=S, t=1, R=1)
+                result = measured_run(
+                    protocol,
+                    config,
+                    seed=0,
+                    workload=ClosedLoopWorkload(
+                        reads_per_reader=4, writes_per_writer=0
+                    ),
+                )
+                reads = len([op for op in result.history.reads if op.complete])
+                counts[S] = result.messages_sent() / reads
+            per_read[protocol] = counts
+        return per_read
+
+    per_read = benchmark(measure)
+    # fast: 2S per read; abd: up to 4S; maxmin: S requests + S(S-1) gossip + S acks
+    assert per_read["fast-crash"][20] == pytest.approx(40, rel=0.1)
+    assert per_read["abd"][20] == pytest.approx(80, rel=0.1)
+    assert per_read["maxmin"][20] > 20 * 20  # superlinear
+    ratio_maxmin = per_read["maxmin"][20] / per_read["maxmin"][5]
+    ratio_fast = per_read["fast-crash"][20] / per_read["fast-crash"][5]
+    assert ratio_maxmin > 2.5 * ratio_fast  # quadratic vs linear growth
+    benchmark.extra_info["messages_per_read"] = {
+        k: {s: round(v, 1) for s, v in inner.items()} for k, inner in per_read.items()
+    }
+
+
+def test_tail_latency_under_asynchrony(benchmark):
+    """With heavy-tailed delays the two-round ABD read pays the tail
+    twice; the fast read's p99 stays close to twice the one-way p99."""
+    from repro.sim.latency import ExponentialLatency
+
+    def measure():
+        out = {}
+        for protocol in ("fast-crash", "abd"):
+            config = ClusterConfig(S=9, t=1, R=2)
+            result = measured_run(
+                protocol,
+                config,
+                seed=11,
+                workload=ClosedLoopWorkload(reads_per_reader=30, writes_per_writer=5),
+                latency=ExponentialLatency(mean=1.0),
+            )
+            lat = sorted(result.read_latencies())
+            out[protocol] = lat[int(0.99 * len(lat)) - 1]
+        return out
+
+    p99 = benchmark(measure)
+    assert p99["fast-crash"] < p99["abd"]
+    benchmark.extra_info["read_p99"] = {k: round(v, 3) for k, v in p99.items()}

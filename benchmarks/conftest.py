@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's
+per-experiment index (E1–E9), covering every figure and theorem of the
+paper.  Benchmarks measure wall-clock cost of the simulation runs with
+pytest-benchmark and attach the *paper-shape* results (simulated
+latencies, round counts, violation tables) as ``extra_info`` so
+``--benchmark-json`` output records the reproduced numbers; the shape
+claims themselves are asserted, so a benchmark run is also a check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.analysis.metrics import latency_by_kind
+from repro.registers.base import ClusterConfig
+from repro.sim.latency import ConstantLatency
+from repro.workloads import ClosedLoopWorkload, run_workload
+
+#: One simulated time unit per hop: read latencies come out as exactly
+#: 2.0 (fast), 3.0 (max-min) and 4.0 (ABD) — the paper's round structure.
+HOP = ConstantLatency(1.0)
+
+MEDIUM = ClosedLoopWorkload(reads_per_reader=10, writes_per_writer=5)
+
+
+def measured_run(protocol: str, config: ClusterConfig, seed: int = 0,
+                 workload: ClosedLoopWorkload = MEDIUM, latency=None):
+    """One standard measured run used across benchmark modules."""
+    return run_workload(
+        protocol,
+        config,
+        workload=workload,
+        seed=seed,
+        latency=latency or HOP,
+    )
+
+
+def read_write_means(result) -> Dict[str, float]:
+    summaries = latency_by_kind(result.history)
+    return {
+        "read_mean": summaries["read"].mean,
+        "write_mean": summaries["write"].mean,
+        "read_p99": summaries["read"].p99,
+    }

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Scenario: an audit log replicated across partially trusted servers.
+
+One auditor (the writer) appends signed findings; two inspectors (the
+readers) must always observe them atomically even though one replica
+may be actively malicious.  This is Figure 5's setting:
+``S > (R+2)t + (R+1)b`` with ``t = b = 1``.
+
+The example runs the same workload against a gallery of attacks — stale
+replay, seen-set inflation, outright signature forgery, and the
+"two-faced" memory-loss server from the paper's own lower-bound proof —
+and shows the protocol shrugging each of them off, then demonstrates
+what the threshold means by shrinking the cluster below it and letting
+the executable lower bound produce a real violation.
+
+Run:  python examples/byzantine_audit.py
+"""
+
+from repro import ClusterConfig, run_byzantine_lower_bound, run_workload
+from repro.analysis.tables import render_table
+from repro.faults.byzantine import (
+    ForgedTagServer,
+    SeenInflaterServer,
+    StaleReplayServer,
+    TwoFacedServer,
+)
+from repro.registers.fast_byzantine import FastByzantineServer
+from repro.sim.ids import reader, server, writer
+from repro.sim.latency import UniformLatency
+from repro.workloads import ClosedLoopWorkload
+
+# S > (R+2)t + (R+1)b = 4 + 3 = 7
+CONFIG = ClusterConfig(S=8, t=1, b=1, R=2)
+
+ATTACKS = {
+    "honest": None,
+    "stale-replay": lambda inner, cluster: StaleReplayServer(inner),
+    "seen-inflation": lambda inner, cluster: SeenInflaterServer(
+        inner, cluster.config.client_ids
+    ),
+    "signature-forgery": lambda inner, cluster: ForgedTagServer(
+        inner, cluster.authority, writer(1)
+    ),
+    "two-faced (memory loss)": lambda inner, cluster: TwoFacedServer(
+        pid=inner.pid,
+        make_inner=lambda pid=inner.pid: FastByzantineServer(
+            pid, cluster.config, cluster.authority
+        ),
+        victims={reader(1)},
+    ),
+}
+
+
+def run_attack(name, behaviour):
+    def hook(cluster):
+        if behaviour is None:
+            return
+        inner = FastByzantineServer(server(1), CONFIG, cluster.authority)
+        cluster.replace_server(1, behaviour(inner, cluster))
+
+    result = run_workload(
+        "fast-byzantine",
+        CONFIG,
+        workload=ClosedLoopWorkload.contention(ops=8),
+        seed=7,
+        latency=UniformLatency(0.5, 1.5),
+        cluster_hook=hook,
+    )
+    return result
+
+
+def main() -> None:
+    print(f"audit cluster: S={CONFIG.S}, t={CONFIG.t}, b={CONFIG.b}, "
+          f"R={CONFIG.R} (threshold S > (R+2)t + (R+1)b = 7: satisfied)\n")
+
+    rows = []
+    for name, behaviour in ATTACKS.items():
+        result = run_attack(name, behaviour)
+        atomic = result.check_atomic()
+        fast = result.check_fast()
+        rows.append(
+            (
+                name,
+                len(result.history.complete_operations),
+                "yes" if atomic.ok else "NO: " + atomic.reason,
+                "yes" if fast.ok else "no",
+            )
+        )
+    print(render_table(["attack on s1", "ops", "atomic", "fast"], rows))
+
+    print(
+        "\nEvery attack is absorbed: forged timestamps fail verification, "
+        "stale and two-faced replies are out-voted by the predicate's "
+        "S - a*t - (a-1)*b requirement.\n"
+    )
+
+    print("Now shrink the cluster to S = 7 — exactly the threshold —")
+    print("and run the paper's Section 6.2 construction against it:\n")
+    evidence = run_byzantine_lower_bound(S=7, t=1, b=1, R=2)
+    print(evidence.describe())
+    print(
+        "\nOne fewer server and the same two-faced behaviour produces a "
+        "certified atomicity violation: the bound is exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

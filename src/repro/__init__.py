@@ -1,0 +1,94 @@
+"""repro — an executable reproduction of
+"How Fast can a Distributed Atomic Read be?" (Dutta, Guerraoui, Levy,
+Vukolic; PODC 2004).
+
+The package provides:
+
+* the paper's fast SWMR atomic register protocols for the crash model
+  (Figure 2) and the arbitrary-failure model (Figure 5), plus every
+  baseline the paper discusses (ABD, max-min, single-reader fast,
+  regular, MWMR);
+* a deterministic discrete-event message-passing simulator matching the
+  paper's system model, with both a free-running randomized runtime and
+  a scripted adversarial controller;
+* independent checkers for atomicity (Section 3.1), linearizability,
+  regularity and fastness (Section 3.2);
+* *executable* lower bounds: the partial-run constructions of
+  Sections 5, 6.2 and 7, run against real protocol instances to produce
+  checker-certified atomicity violations exactly beyond the thresholds
+  ``R < S/t - 2`` and ``R < (S+b)/(t+b) - 2``.
+
+Quickstart::
+
+    from repro import ClusterConfig, run_workload
+
+    config = ClusterConfig(S=8, t=1, R=3)
+    result = run_workload("fast-crash", config)
+    assert result.check_atomic()
+    assert result.check_fast()
+"""
+
+from repro.bounds import (
+    construction_applies,
+    fast_feasible,
+    fast_read_possible,
+    max_readers,
+    min_servers,
+    run_byzantine_lower_bound,
+    run_crash_lower_bound,
+    run_mwmr_impossibility,
+)
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleConstructionError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    SpecificationError,
+)
+from repro.registers import PROTOCOLS, ClusterConfig, get_protocol
+from repro.sim import ScriptedExecution, Simulation
+from repro.spec import (
+    BOTTOM,
+    History,
+    check_all_fast,
+    check_linearizable,
+    check_swmr_atomicity,
+    check_swmr_regularity,
+)
+from repro.version import __version__
+from repro.workloads import ClosedLoopWorkload, RunResult, run_workload
+
+__all__ = [
+    "BOTTOM",
+    "ClosedLoopWorkload",
+    "ClusterConfig",
+    "ConfigurationError",
+    "History",
+    "InfeasibleConstructionError",
+    "PROTOCOLS",
+    "ProtocolError",
+    "ReproError",
+    "RunResult",
+    "ScheduleError",
+    "ScriptedExecution",
+    "SimulationError",
+    "Simulation",
+    "SpecificationError",
+    "__version__",
+    "check_all_fast",
+    "check_linearizable",
+    "check_swmr_atomicity",
+    "check_swmr_regularity",
+    "construction_applies",
+    "fast_feasible",
+    "fast_read_possible",
+    "get_protocol",
+    "max_readers",
+    "min_servers",
+    "run_byzantine_lower_bound",
+    "run_crash_lower_bound",
+    "run_mwmr_impossibility",
+    "run_workload",
+]

@@ -1,0 +1,28 @@
+"""Metrics, tables and sweeps over simulation runs."""
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    latencies,
+    latency_by_kind,
+    messages_per_operation,
+    percentile,
+    summarize,
+    throughput,
+)
+from repro.analysis.sweep import BoundaryCase, boundary_cases, grid, sweep
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "BoundaryCase",
+    "LatencySummary",
+    "boundary_cases",
+    "grid",
+    "latencies",
+    "latency_by_kind",
+    "messages_per_operation",
+    "percentile",
+    "render_table",
+    "summarize",
+    "sweep",
+    "throughput",
+]

@@ -1,0 +1,94 @@
+"""Latency and message metrics over run results.
+
+All latencies are in *simulated* time units — one unit is one mean
+message delay under the default models — so the numbers compare
+protocol round structure, not Python speed.  The paper's time-complexity
+claims (one vs two round-trips) appear directly as ~2 vs ~4 message
+delays per read.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.spec.histories import History
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of operation latencies."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def describe(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} p99={self.p99:.3f} max={self.maximum:.3f}"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0 for empty input."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def summarize(values: Sequence[float]) -> LatencySummary:
+    if not values:
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 0.50),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+        maximum=max(values),
+    )
+
+
+def latencies(history: History, kind: Optional[str] = None) -> List[float]:
+    """Latencies of complete operations, optionally one kind only."""
+    return [
+        op.responded_at - op.invoked_at
+        for op in history.complete_operations
+        if kind is None or op.kind == kind
+    ]
+
+
+def latency_by_kind(history: History) -> Dict[str, LatencySummary]:
+    return {
+        kind: summarize(latencies(history, kind))
+        for kind in ("read", "write")
+    }
+
+
+def throughput(history: History) -> float:
+    """Completed operations per unit of simulated time."""
+    complete = history.complete_operations
+    if not complete:
+        return 0.0
+    span = max(op.responded_at for op in complete) - min(
+        op.invoked_at for op in complete
+    )
+    if span <= 0:
+        return float(len(complete))
+    return len(complete) / span
+
+
+def messages_per_operation(total_messages: int, history: History) -> float:
+    complete = len(history.complete_operations)
+    if complete == 0:
+        return 0.0
+    return total_messages / complete

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats are shown with three
+    decimals.  Used by every benchmark so the regenerated "paper
+    tables" share one format.
+    """
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    materialized: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in materialized:
+        out.append(line(row))
+    return "\n".join(out)

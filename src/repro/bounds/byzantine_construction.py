@@ -1,0 +1,183 @@
+"""Executable Section 6.2 lower bound (Figure 6 + Figure 4).
+
+Proposition 10: for ``t ≥ 1``, ``R ≥ 2`` and ``(R+2)t + (R+1)b ≥ S``
+there is no fast atomic SWMR register, even with signatures.  The
+servers split into blocks ``T_1..T_{R+2}`` (size ≤ t) and
+``B_1..B_{R+1}`` (size ≤ b); the run executed here is the proof's final
+``pr^C``:
+
+1. ``write(1)`` reaches only ``T_{R+1}`` and ``B_{R+1}``; the servers of
+   ``B_{R+1}`` are *two-faced* — having received the write, they keep
+   answering everyone honestly **except** ``r_1``, whom they answer as
+   if the write never happened ("loses its memory" towards ``r_1``).
+   No signature is forged: the liars merely withhold a tag.
+2. For ``h = 1..R``: reader ``r_h`` invokes a read reaching
+   ``T_1..T_{h-1}``, ``B_1..B_h``, ``T_{R+1}``, ``B_{R+1}``,
+   ``T_{R+2}``.  Only ``r_R``'s read (which skips just ``T_R``)
+   completes; the evidence from ``T_{R+1} ∪ B_{R+1}`` — whose ``seen``
+   sets contain all ``R + 1`` clients — satisfies the Figure 5 predicate
+   with ``a = R + 1`` and ``r_R`` returns 1.
+3. ``pr^A``: ``r_1`` completes its read from every block except
+   ``T_{R+1}``; ``B_{R+1}``'s shadow face tells it the register is
+   untouched, so ``r_1`` returns ``⊥``.
+4. ``pr^C``: ``r_1`` reads again, skipping ``T_{R+1}``, and again
+   returns ``⊥`` — violating atomicity against ``r_R``'s earlier 1.
+
+With ``b = 0`` (no ``B`` blocks) this degenerates exactly to the
+Section 5 construction, mirroring how Proposition 10 generalises
+Proposition 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bounds.blocks import Block, partition_byzantine
+from repro.bounds.crash_construction import ConstructionResult
+from repro.errors import InfeasibleConstructionError
+from repro.faults.byzantine import TwoFacedServer
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.fast_byzantine import FastByzantineServer, build_cluster
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId, reader, writer
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.histories import History, Operation
+
+
+def run_byzantine_lower_bound(
+    S: int,
+    t: int,
+    b: int,
+    R: int,
+) -> ConstructionResult:
+    """Execute the Section 6.2 ``pr^C`` against the Figure 5 protocol.
+
+    The protocol is instantiated beyond its threshold (``enforce=False``)
+    with the ``B_{R+1}`` servers replaced by two-faced impostors whose
+    victim set is ``{r_1}``.
+    """
+    t_blocks, b_blocks = partition_byzantine(S=S, t=t, b=b, R=R)
+    config = ClusterConfig(S=S, t=t, R=R, W=1, b=b)
+    cluster: Cluster = build_cluster(config, enforce=False)
+
+    t_by_name = {block.name: block for block in t_blocks}
+    b_by_name = {block.name: block for block in b_blocks}
+    t_pivot = t_by_name[f"T{R + 1}"]
+    t_tail = t_by_name[f"T{R + 2}"]
+    t_numbered = [t_by_name[f"T{i}"] for i in range(1, R + 1)]
+    b_pivot = b_by_name[f"B{R + 1}"]
+    b_numbered = [b_by_name[f"B{i}"] for i in range(1, R + 1)]
+
+    # Replace B_{R+1} with two-faced servers lying to r1 only.  The
+    # number of liars is |B_{R+1}| <= b, within the model's allowance.
+    authority = cluster.authority
+    assert authority is not None
+    for pid in b_pivot.members:
+        impostor = TwoFacedServer(
+            pid=pid,
+            make_inner=lambda pid=pid: FastByzantineServer(pid, config, authority),
+            victims={reader(1)},
+        )
+        cluster.replace_server(pid.index, impostor)
+
+    execution = ScriptedExecution()
+    cluster.install(execution)
+
+    narrative: List[str] = []
+    reached: Dict[int, List[str]] = {}
+    read_results: Dict[str, Any] = {}
+
+    def note(text: str) -> None:
+        narrative.append(text)
+
+    def deliver_to_blocks(op: Operation, targets: Sequence[Block]) -> None:
+        names = [block.name for block in targets if len(block)]
+        reached.setdefault(op.op_id, []).extend(names)
+        members: List[ProcessId] = []
+        for block in targets:
+            members.extend(block.members)
+        execution.deliver_requests(op, to=members)
+
+    # -- step 1: the partial write -------------------------------------------
+    write_op = execution.invoke(writer(), "write", 1)
+    deliver_to_blocks(write_op, [t_pivot, b_pivot])
+    liars = ", ".join(str(p) for p in b_pivot.members) or "none"
+    note(
+        f"write(1) reaches only {t_pivot.name} and {b_pivot.name}; "
+        f"two-faced servers: {liars} (they hide the write from r1)"
+    )
+
+    # -- step 2: the reads of ◊pr_R ------------------------------------------
+    read_ops: List[Operation] = []
+    for h in range(1, R + 1):
+        op = execution.invoke(reader(h), "read")
+        read_ops.append(op)
+        targets = (
+            t_numbered[: h - 1]
+            + b_numbered[:h]
+            + [t_pivot, b_pivot, t_tail]
+        )
+        deliver_to_blocks(op, targets)
+        note(f"r{h} invokes a read; it skips T{h}..T{R} (messages held)")
+
+    last_read = read_ops[-1]
+    reply_order: List[ProcessId] = list(t_pivot.members) + list(b_pivot.members)
+    reply_order.extend(t_tail.members)
+    for block in t_numbered[: R - 1] + b_numbered:
+        reply_order.extend(block.members)
+    execution.deliver_replies(last_read, from_=reply_order)
+    if not last_read.complete:
+        raise InfeasibleConstructionError(
+            f"r{R}'s read did not complete with S - t valid replies"
+        )
+    read_results[f"r{R} read #1"] = last_read.result
+    note(f"r{R}'s read completes (skipping T{R}) and returns {last_read.result!r}")
+
+    # -- step 3: pr^A ----------------------------------------------------------
+    first_read = read_ops[0]
+    # Held replies for r1: from T_{R+2}, B_1 and the liars in B_{R+1}
+    # (whose shadow face answered with the initial tag).
+    early = list(t_tail.members) + list(b_numbered[0].members) + list(b_pivot.members)
+    execution.deliver_replies(first_read, from_=early)
+    late_blocks = t_numbered + b_numbered[1:]
+    deliver_to_blocks(first_read, late_blocks)
+    late_order: List[ProcessId] = []
+    for block in late_blocks:
+        late_order.extend(block.members)
+    execution.deliver_replies(first_read, from_=late_order)
+    if not first_read.complete:
+        raise InfeasibleConstructionError("r1's read did not complete in pr^A")
+    read_results["r1 read #1"] = first_read.result
+    note(
+        f"pr^A: r1 completes from all blocks except {t_pivot.name} "
+        f"({b_pivot.name} lied) and returns {first_read.result!r}"
+    )
+
+    # -- step 4: pr^C ----------------------------------------------------------
+    second_read = execution.invoke(reader(1), "read")
+    targets = t_numbered + [t_tail] + b_numbered + [b_pivot]
+    deliver_to_blocks(second_read, targets)
+    order2: List[ProcessId] = []
+    for block in targets:
+        order2.extend(block.members)
+    execution.deliver_replies(second_read, from_=order2)
+    if not second_read.complete:
+        raise InfeasibleConstructionError("r1's second read did not complete in pr^C")
+    read_results["r1 read #2"] = second_read.result
+    note(
+        f"pr^C: r1's second read (skipping {t_pivot.name}) returns "
+        f"{second_read.result!r} after r{R} read {last_read.result!r}"
+    )
+
+    verdict = check_swmr_atomicity(execution.history)
+    return ConstructionResult(
+        config=config,
+        protocol="fast-byzantine",
+        blocks=[*t_blocks, *b_blocks],
+        history=execution.history,
+        verdict=verdict,
+        read_results=read_results,
+        reached=reached,
+        narrative=narrative,
+    )

@@ -1,0 +1,203 @@
+"""Executable Section 5 lower bound (Figures 1, 3, 4).
+
+Proposition 5: for ``t ≥ 1``, ``R ≥ 2`` and ``R ≥ S/t - 2`` there is no
+fast atomic SWMR register.  The proof builds a chain of partial runs and
+shows the final one, ``pr^C``, violates atomicity.  The intermediate
+runs and the indistinguishability arguments are proof devices; ``pr^C``
+itself is a *bona fide* run, and this module executes it, step by step,
+against a real protocol instance (by default Figure 2's own algorithm
+instantiated beyond its threshold):
+
+1. ``wr_{R+1}``: the writer invokes ``write(1)``; the message reaches
+   only block ``B_{R+1}`` — an incomplete write.
+2. ``◊pr_R``'s reads: for ``h = 1..R``, reader ``r_h`` invokes a read
+   whose message reaches blocks ``B_1..B_{h-1}``, ``B_{R+1}`` and
+   ``B_{R+2}`` (it *skips* ``B_h..B_R``).  Only ``r_R``'s read — which
+   skips just ``B_R`` — receives its replies and completes.  Because
+   every reader has by then been recorded in ``B_{R+1}``'s ``seen``
+   sets, the predicate fires with ``a = R + 1`` and ``r_R`` returns 1.
+3. ``pr^A``: ``r_1``'s held replies from ``B_{R+2}`` are delivered, the
+   blocks ``B_1..B_R`` belatedly receive ``r_1``'s read message and
+   reply; ``r_1`` completes having heard from every block except
+   ``B_{R+1}`` — the only block that knows about ``write(1)`` — and
+   returns ``⊥``.
+4. ``pr^C``: ``r_1`` reads again, skipping ``B_{R+1}``, and returns
+   ``⊥`` — *after* ``r_R``'s read returned 1.  Condition 4 of atomicity
+   is violated; the independent checker certifies it.
+
+The run uses only behaviours the model allows: messages merely stay in
+transit longer for some destinations, and nobody misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bounds.blocks import Block, partition_crash
+from repro.errors import InfeasibleConstructionError
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId, reader, writer
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.histories import History, Operation, Verdict
+
+
+@dataclass
+class ConstructionResult:
+    """Everything a test, bench or example needs from one construction run."""
+
+    config: ClusterConfig
+    protocol: str
+    blocks: List[Block]
+    history: History
+    verdict: Verdict
+    read_results: Dict[str, Any]
+    reached: Dict[int, List[str]] = field(default_factory=dict)
+    narrative: List[str] = field(default_factory=list)
+
+    @property
+    def violated(self) -> bool:
+        """True when the constructed run violates atomicity, as the
+        lower bound predicts for parameters beyond the threshold."""
+        return not self.verdict.ok
+
+    def describe(self) -> str:
+        lines = [
+            f"Lower-bound construction on S={self.config.S}, t={self.config.t}, "
+            f"b={self.config.b}, R={self.config.R} against protocol {self.protocol!r}",
+            "blocks: " + "  ".join(block.describe() for block in self.blocks),
+            "",
+        ]
+        lines.extend(self.narrative)
+        lines.append("")
+        lines.append(self.verdict.describe())
+        return "\n".join(lines)
+
+
+def run_crash_lower_bound(
+    S: int,
+    t: int,
+    R: int,
+    protocol: str = "fast-crash",
+) -> ConstructionResult:
+    """Execute ``pr^C`` against a protocol instance; return the evidence.
+
+    Raises :class:`InfeasibleConstructionError` when the parameters sit
+    inside the feasible region (the required block partition does not
+    exist there, mirroring why the proof cannot be carried out).
+    """
+    blocks = partition_crash(S=S, t=t, R=R)  # raises if infeasible
+    config = ClusterConfig(S=S, t=t, R=R, W=1, b=0)
+    spec = get_protocol(protocol)
+    cluster: Cluster = spec.build(config, enforce=False)
+
+    execution = ScriptedExecution()
+    cluster.install(execution)
+
+    narrative: List[str] = []
+    reached: Dict[int, List[str]] = {}
+    read_results: Dict[str, Any] = {}
+
+    def note(text: str) -> None:
+        narrative.append(text)
+
+    def deliver_to_blocks(op: Operation, targets: Sequence[Block]) -> None:
+        names = [block.name for block in targets if len(block)]
+        reached.setdefault(op.op_id, []).extend(names)
+        members: List[ProcessId] = []
+        for block in targets:
+            members.extend(block.members)
+        execution.deliver_requests(op, to=members)
+
+    b_blocks = {block.name: block for block in blocks}
+    pivot = b_blocks[f"B{R + 1}"]          # sole recipient of the write
+    tail = b_blocks[f"B{R + 2}"]
+    numbered = [b_blocks[f"B{i}"] for i in range(1, R + 1)]
+
+    # -- step 1: the partial write wr_{R+1} ---------------------------------
+    write_op = execution.invoke(writer(), "write", 1)
+    deliver_to_blocks(write_op, [pivot])
+    note(
+        f"write(1) invoked; its message reaches only {pivot.name} "
+        f"({len(pivot)} server(s)); the write never completes"
+    )
+
+    # -- step 2: the reads of ◊pr_R ------------------------------------------
+    read_ops: List[Operation] = []
+    for h in range(1, R + 1):
+        op = execution.invoke(reader(h), "read")
+        read_ops.append(op)
+        # r_h's read message reaches B_1..B_{h-1}, B_{R+1}, B_{R+2};
+        # it skips B_h..B_R.
+        targets = numbered[: h - 1] + [pivot, tail]
+        deliver_to_blocks(op, targets)
+        skipped = ", ".join(block.name for block in numbered[h - 1 :])
+        note(f"r{h} invokes a read; message held for blocks {skipped or '-'}")
+
+    # Only r_R's read completes: replies from B_{R+1} first (so the
+    # maxTS evidence is among the S-t acks it acts upon), then B_{R+2},
+    # then B_1..B_{R-1}.
+    last_read = read_ops[-1]
+    reply_order = list(pivot.members) + list(tail.members)
+    for block in numbered[: R - 1]:
+        reply_order.extend(block.members)
+    execution.deliver_replies(last_read, from_=reply_order)
+    if not last_read.complete:
+        raise InfeasibleConstructionError(
+            f"r{R}'s read did not complete with S - t replies; "
+            f"protocol {protocol!r} is not fast"
+        )
+    read_results[f"r{R} read #1"] = last_read.result
+    note(f"r{R}'s read completes (skipping B{R}) and returns {last_read.result!r}")
+
+    # -- step 3: pr^A — r_1's read completes without hearing B_{R+1} ---------
+    first_read = read_ops[0]
+    execution.deliver_replies(first_read, from_=list(tail.members))
+    late_blocks = numbered  # B_1..B_R now receive r_1's read message
+    deliver_to_blocks(first_read, late_blocks)
+    late_order: List[ProcessId] = []
+    for block in late_blocks:
+        late_order.extend(block.members)
+    execution.deliver_replies(first_read, from_=late_order)
+    if not first_read.complete:
+        raise InfeasibleConstructionError(
+            "r1's read did not complete from S - t replies in pr^A"
+        )
+    read_results["r1 read #1"] = first_read.result
+    note(
+        f"pr^A: r1's read completes from every block except {pivot.name} "
+        f"and returns {first_read.result!r}"
+    )
+
+    # -- step 4: pr^C — r_1 reads again, skipping B_{R+1} ---------------------
+    second_read = execution.invoke(reader(1), "read")
+    targets = numbered + [tail]
+    deliver_to_blocks(second_read, targets)
+    order2: List[ProcessId] = []
+    for block in targets:
+        order2.extend(block.members)
+    execution.deliver_replies(second_read, from_=order2)
+    if not second_read.complete:
+        raise InfeasibleConstructionError(
+            "r1's second read did not complete in pr^C"
+        )
+    read_results["r1 read #2"] = second_read.result
+    note(
+        f"pr^C: r1 reads again (skipping {pivot.name}) and returns "
+        f"{second_read.result!r} — after r{R}'s read returned "
+        f"{last_read.result!r}"
+    )
+
+    verdict = check_swmr_atomicity(execution.history)
+    return ConstructionResult(
+        config=config,
+        protocol=protocol,
+        blocks=blocks,
+        history=execution.history,
+        verdict=verdict,
+        read_results=read_results,
+        reached=reached,
+        narrative=narrative,
+    )

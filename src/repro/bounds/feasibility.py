@@ -1,0 +1,147 @@
+"""Threshold algebra of the paper's main theorems.
+
+Crash model (Sections 4-5): a fast SWMR atomic register exists iff
+``R < S/t - 2`` (for ``t ≥ 1, R ≥ 2``), i.e. ``S > (R + 2)·t``.
+
+Arbitrary failures (Section 6): iff ``R < (S + b)/(t + b) - 2``, i.e.
+``S > (R + 2)·t + (R + 1)·b``.  Setting ``b = 0`` recovers the crash
+bound, which is how the paper "bridges the gap" between the models.
+
+Special cases the theorems carve out:
+
+* ``t = 0`` — no server ever fails; fast implementations are trivial for
+  any number of readers (every read sees all servers).
+* ``R = 1`` — the introduction's single-reader register is fast whenever
+  ``t < S/2`` (crash model), strictly better than instantiating
+  Figure 2 with ``R = 1``.
+* Regular registers (Section 8) — fast for any finite ``R`` whenever
+  ``t < S/2``.
+* MWMR (Section 7) — never fast, for any parameters with ``t ≥ 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+def fast_feasible(S: int, t: int, R: int, b: int = 0) -> bool:
+    """Can the Figure 2/5 protocol family serve ``R`` readers fast?
+
+    Evaluates ``S > (R + 2)·t + (R + 1)·b`` (vacuously true for
+    ``t = 0``).  This is the exact condition of the paper's main theorem
+    for ``R ≥ 2`` and the operating requirement of the implementations
+    for every ``R``.
+    """
+    _validate(S, t, R, b)
+    if t == 0:
+        return True
+    return S > (R + 2) * t + (R + 1) * b
+
+
+def fast_read_possible(S: int, t: int, R: int, b: int = 0) -> bool:
+    """Does *any* fast atomic SWMR implementation exist?
+
+    Same as :func:`fast_feasible` except for the paper's special cases:
+    ``R = 0`` is trivially fast (no reads to order) and ``R = 1`` in the
+    crash model is fast iff ``t < S/2`` via the single-reader register.
+    """
+    _validate(S, t, R, b)
+    if t == 0 or R == 0:
+        return True
+    if R == 1 and b == 0:
+        return 2 * t < S
+    return fast_feasible(S, t, R, b)
+
+
+def max_readers(S: int, t: int, b: int = 0) -> float:
+    """Largest ``R`` with a fast implementation (``inf`` when ``t = 0``).
+
+    Inverts ``S > (R + 2)t + (R + 1)b``:
+    ``R_max = ceil((S - 2t - b)/(t + b)) - 1``.  May be negative, meaning
+    even the no-reader system would violate the threshold-protocol
+    requirement (reads aside, writes alone are still implementable).
+    """
+    _validate(S, t, 0, b)
+    if t == 0:
+        return math.inf
+    bound = (S - 2 * t - b) / (t + b)
+    max_r = math.ceil(bound) - 1
+    return float(max_r)
+
+
+def min_servers(R: int, t: int, b: int = 0) -> int:
+    """Fewest servers supporting ``R`` fast readers: the threshold + 1."""
+    _validate(1, 0, R, 0)
+    if t < 0 or b < 0 or b > t:
+        raise ValueError("need 0 <= b <= t")
+    return (R + 2) * t + (R + 1) * b + 1
+
+
+def construction_applies(S: int, t: int, R: int, b: int = 0) -> bool:
+    """Does the matching lower-bound construction apply?
+
+    Propositions 5 and 10 need ``t ≥ 1``, ``R ≥ 2`` and the threshold
+    violated: ``(R + 2)t + (R + 1)b ≥ S``.
+    """
+    _validate(S, t, R, b)
+    return t >= 1 and R >= 2 and (R + 2) * t + (R + 1) * b >= S
+
+
+def regular_fast_feasible(S: int, t: int) -> bool:
+    """Section 8: fast regular registers exist iff ``t < S/2``."""
+    return 2 * t < S
+
+
+@dataclass(frozen=True)
+class ThresholdRow:
+    """One row of the main-theorem table (experiment E7)."""
+
+    S: int
+    t: int
+    b: int
+    max_fast_readers: float
+    regular_ok: bool
+
+    def describe(self) -> str:
+        readers = "inf" if math.isinf(self.max_fast_readers) else int(self.max_fast_readers)
+        return (
+            f"S={self.S:3d} t={self.t} b={self.b}: "
+            f"max fast readers = {readers}, fast regular = {self.regular_ok}"
+        )
+
+
+def threshold_table(
+    S_values: Iterable[int], t_values: Iterable[int], b_values: Iterable[int] = (0,)
+) -> List[ThresholdRow]:
+    """Tabulate ``maxR(S, t, b)`` over a parameter grid."""
+    rows = []
+    for S in S_values:
+        for t in t_values:
+            if t >= S:
+                continue
+            for b in b_values:
+                if b > t:
+                    continue
+                rows.append(
+                    ThresholdRow(
+                        S=S,
+                        t=t,
+                        b=b,
+                        max_fast_readers=max_readers(S, t, b),
+                        regular_ok=regular_fast_feasible(S, t),
+                    )
+                )
+    return rows
+
+
+def _validate(S: int, t: int, R: int, b: int) -> None:
+    if S < 1:
+        raise ValueError("S must be positive")
+    if t < 0 or t >= S:
+        raise ValueError(f"need 0 <= t < S; got t={t}, S={S}")
+    if R < 0:
+        raise ValueError("R must be non-negative")
+    if b < 0 or b > t:
+        raise ValueError(f"need 0 <= b <= t; got b={b}, t={t}")

@@ -1,0 +1,271 @@
+"""The Section 5 indistinguishability chain, executed.
+
+:mod:`repro.bounds.crash_construction` executes only the *final* run
+``pr^C``.  The proof, however, rests on a chain of pairwise
+indistinguishability claims:
+
+* ``pr_i  ~r_i  ◊pr_i`` — reader ``r_i`` receives byte-identical acks in
+  the run where block ``B_i``'s steps happened and the run where they
+  were deleted (``i = 1..R``);
+* ``pr^A ~r_1 pr^B`` — ``r_1`` cannot tell the run with the partial
+  ``write(1)`` from the run with no write at all;
+* ``pr^C ~r_1 pr^D`` — likewise after ``r_1``'s second read.
+
+This module *executes both sides of every claim* as independent runs of
+the actual Figure 2 protocol (instantiated beyond its threshold) and
+compares the distinguished reader's delivered acknowledgements
+message-by-message.  The result is a machine-checked transcript of the
+proof's skeleton: each indistinguishability holds (ack sequences equal,
+hence equal return values), the anchored run returns 1, and the chain
+transports that 1 to ``◊pr_R`` while ``pr^B``/``pr^D`` pin ``r_1`` to
+``⊥`` — which is exactly why ``pr^C`` violates atomicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.bounds.blocks import Block, partition_crash
+from repro.registers.base import ClusterConfig
+from repro.registers.fast_crash import build_cluster
+from repro.registers import messages as msg
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId, reader, writer
+from repro.spec.histories import BOTTOM, Operation
+
+#: Fingerprint of one delivered ack: everything the reader's automaton
+#: can observe, minus run-local identifiers (op ids differ between runs
+#: with and without the write operation).
+AckFingerprint = Tuple[str, Any, Any, Any, Tuple[str, ...], int]
+
+
+def _fingerprint(src: ProcessId, ack: msg.FastReadAck) -> AckFingerprint:
+    return (
+        str(src),
+        ack.tag.ts,
+        ack.tag.value,
+        ack.tag.prev_value,
+        tuple(sorted(str(p) for p in ack.seen)),
+        ack.r_counter,
+    )
+
+
+@dataclass
+class ReadView:
+    """What one read operation observed: acks in delivery order."""
+
+    reader_name: str
+    acks: List[AckFingerprint]
+    result: Any
+
+
+@dataclass
+class ClaimCheck:
+    """One executed indistinguishability claim."""
+
+    name: str
+    left_view: ReadView
+    right_view: ReadView
+
+    @property
+    def views_identical(self) -> bool:
+        return self.left_view.acks == self.right_view.acks
+
+    @property
+    def results_equal(self) -> bool:
+        return self.left_view.result == self.right_view.result
+
+    @property
+    def holds(self) -> bool:
+        return self.views_identical and self.results_equal
+
+    def describe(self) -> str:
+        status = "holds" if self.holds else "FAILS"
+        return (
+            f"{self.name}: {status} "
+            f"(acks {'==' if self.views_identical else '!='}, "
+            f"returns {self.left_view.result!r} / {self.right_view.result!r})"
+        )
+
+
+@dataclass
+class ChainReport:
+    """All claims of the Section 5 chain for one parameter set."""
+
+    S: int
+    t: int
+    R: int
+    claims: List[ClaimCheck] = field(default_factory=list)
+    anchored_value: Any = None  # r_1's return in pr_1 (forced by atomicity)
+    final_values: Tuple[Any, Any] = (None, None)  # (r_R in ◊pr_R, r1 2nd in pr^C)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(claim.holds for claim in self.claims)
+
+    def describe(self) -> str:
+        lines = [
+            f"Section 5 indistinguishability chain at S={self.S}, t={self.t}, "
+            f"R={self.R}:"
+        ]
+        lines.extend("  " + claim.describe() for claim in self.claims)
+        lines.append(f"  anchored: r1 returns {self.anchored_value!r} in pr_1")
+        lines.append(
+            f"  transported: r{self.R} returns {self.final_values[0]!r} in ◊pr_R, "
+            f"then r1's second read returns {self.final_values[1]!r} in pr^C"
+        )
+        return "\n".join(lines)
+
+
+class _Runner:
+    """One scripted execution over the block partition."""
+
+    def __init__(self, S: int, t: int, R: int, blocks: Sequence[Block]) -> None:
+        self.config = ClusterConfig(S=S, t=t, R=R)
+        self.blocks = list(blocks)
+        self.numbered = self.blocks[:R]
+        self.pivot = self.blocks[R]       # B_{R+1}
+        self.tail = self.blocks[R + 1]    # B_{R+2}
+        cluster = build_cluster(self.config, enforce=False)
+        self.execution = ScriptedExecution()
+        cluster.install(self.execution)
+
+    def members(self, blocks: Sequence[Block]) -> List[ProcessId]:
+        out: List[ProcessId] = []
+        for block in blocks:
+            out.extend(block.members)
+        return out
+
+    def write(self, to_blocks: Sequence[Block], complete: bool = False) -> Operation:
+        op = self.execution.invoke(writer(1), "write", 1)
+        targets = self.members(to_blocks)
+        self.execution.deliver_requests(op, to=targets)
+        if complete:
+            self.execution.deliver_replies(op, from_=targets)
+        return op
+
+    def read_requests(self, index: int, to_blocks: Sequence[Block]) -> Operation:
+        op = self.execution.invoke(reader(index), "read")
+        self.execution.deliver_requests(op, to=self.members(to_blocks))
+        return op
+
+    def finish_read(self, op: Operation, from_blocks: Sequence[Block]) -> ReadView:
+        order = self.members(from_blocks)
+        delivered = self.execution.deliver_replies(op, from_=order)
+        acks = [
+            _fingerprint(env.src, env.payload)
+            for env in delivered
+            if isinstance(env.payload, msg.FastReadAck)
+        ]
+        return ReadView(
+            reader_name=str(op.proc), acks=acks, result=op.result
+        )
+
+
+def _pr_run(S: int, t: int, R: int, i: int, blocks: Sequence[Block]) -> ReadView:
+    """Execute ``pr_i`` and return ``r_i``'s view.
+
+    ``pr_i`` extends ``◊pr_{i-1}``: the write reached ``B_i..B_{R+1}``
+    (completing only for ``i = 1``, where it reached ``B_1..B_{R+1}``
+    and the writer got its acks); reads ``r_1..r_{i-1}`` skip
+    ``{B_j | h <= j <= i-1}`` with only ``r_{i-1}`` completed; ``r_i``
+    skips ``B_i`` and completes.
+    """
+    run = _Runner(S, t, R, blocks)
+    write_targets = run.numbered[i - 1 :] + [run.pivot]
+    run.write(write_targets, complete=(i == 1))
+    for h in range(1, i):
+        to_blocks = run.numbered[: h - 1] + run.numbered[i - 1 :] + [run.pivot, run.tail]
+        op = run.read_requests(h, to_blocks)
+        if h == i - 1:
+            reply_blocks = [run.pivot, run.tail] + run.numbered[: h - 1] + run.numbered[i - 1 :]
+            run.finish_read(op, reply_blocks)
+    read_blocks = (
+        run.numbered[: i - 1] + run.numbered[i:] + [run.pivot, run.tail]
+    )
+    op = run.read_requests(i, read_blocks)
+    reply_order = [run.pivot, run.tail] + run.numbered[: i - 1] + run.numbered[i:]
+    return run.finish_read(op, reply_order)
+
+
+def _diamond_run(S: int, t: int, R: int, i: int, blocks: Sequence[Block]) -> ReadView:
+    """Execute ``◊pr_i`` and return ``r_i``'s view.
+
+    The write reached only ``B_{i+1}..B_{R+1}``; reads ``r_1..r_{i-1}``
+    skip ``{B_j | h <= j <= i}`` and stay incomplete; ``r_i`` skips
+    ``B_i`` and completes.
+    """
+    run = _Runner(S, t, R, blocks)
+    run.write(run.numbered[i:] + [run.pivot], complete=False)
+    for h in range(1, i):
+        to_blocks = run.numbered[: h - 1] + run.numbered[i:] + [run.pivot, run.tail]
+        run.read_requests(h, to_blocks)
+    read_blocks = run.numbered[: i - 1] + run.numbered[i:] + [run.pivot, run.tail]
+    op = run.read_requests(i, read_blocks)
+    reply_order = [run.pivot, run.tail] + run.numbered[: i - 1] + run.numbered[i:]
+    return run.finish_read(op, reply_order)
+
+
+def _tail_run(
+    S: int, t: int, R: int, blocks: Sequence[Block], with_write: bool
+) -> Tuple[ReadView, ReadView, Any]:
+    """Execute ``pr^A``+``pr^C`` (``with_write=True``) or the write-free
+    twins ``pr^B``+``pr^D``.  Returns r1's two views and r_R's result.
+    """
+    run = _Runner(S, t, R, blocks)
+    if with_write:
+        run.write([run.pivot], complete=False)
+    reads = []
+    for h in range(1, R + 1):
+        to_blocks = run.numbered[: h - 1] + [run.pivot, run.tail]
+        reads.append(run.read_requests(h, to_blocks))
+    last = reads[-1]
+    run.finish_read(
+        last, [run.pivot, run.tail] + run.numbered[: R - 1]
+    )
+    first = reads[0]
+    # pr^A: r1 hears B_{R+2}, then the late blocks B_1..B_R.
+    view_parts: List[AckFingerprint] = []
+    part = run.finish_read(first, [run.tail])
+    view_parts.extend(part.acks)
+    run.execution.deliver_requests(first, to=run.members(run.numbered))
+    part = run.finish_read(first, run.numbered)
+    view_parts.extend(part.acks)
+    first_view = ReadView(
+        reader_name=str(first.proc), acks=view_parts, result=first.result
+    )
+    # pr^C: r1's second read, skipping B_{R+1}.
+    second = run.read_requests(1, run.numbered + [run.tail])
+    second_view = run.finish_read(second, run.numbered + [run.tail])
+    return first_view, second_view, last.result
+
+
+def verify_crash_chain(S: int, t: int, R: int) -> ChainReport:
+    """Execute every indistinguishability claim of the Section 5 proof.
+
+    Requires the impossible regime (``(R+2)t >= S``), like the
+    construction itself.
+    """
+    blocks = partition_crash(S=S, t=t, R=R)
+    report = ChainReport(S=S, t=t, R=R)
+
+    for i in range(1, R + 1):
+        left = _pr_run(S, t, R, i, blocks)
+        right = _diamond_run(S, t, R, i, blocks)
+        report.claims.append(
+            ClaimCheck(name=f"pr_{i} ~r{i} ◊pr_{i}", left_view=left, right_view=right)
+        )
+        if i == 1:
+            report.anchored_value = left.result
+
+    first_a, second_c, rR_result = _tail_run(S, t, R, blocks, with_write=True)
+    first_b, second_d, _ = _tail_run(S, t, R, blocks, with_write=False)
+    report.claims.append(
+        ClaimCheck(name="pr^A ~r1 pr^B", left_view=first_a, right_view=first_b)
+    )
+    report.claims.append(
+        ClaimCheck(name="pr^C ~r1 pr^D", left_view=second_c, right_view=second_d)
+    )
+    report.final_values = (rR_result, second_c.result)
+    return report

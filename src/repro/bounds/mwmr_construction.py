@@ -1,0 +1,262 @@
+"""Executable Section 7 impossibility (Proposition 11, Figure 7).
+
+No fast MWMR atomic register exists, even with ``W = R = 2`` and a
+single crash-faulty server.  The proof builds a chain of runs:
+
+* ``run^1``: a skip-free ``write(2)`` by ``w2``, then a skip-free
+  ``write(1)`` by ``w1``, then a skip-free read by ``r1`` — which by
+  property P1 must return 1.
+* ``run^{i+1}``: identical to ``run^i`` except server ``s_i`` processes
+  ``w1``'s message *before* ``w2``'s.  (Once two or more servers are
+  flipped the writes become concurrent — a one-round ``write(2)``
+  cannot finish before ``w1`` starts if two of its messages are still
+  in transit — which is fine: the chain only needs per-server
+  indistinguishability.)
+* ``run^{S+1}`` equals the interchanged sequential run ``run^2-seq``
+  at every server, so the read returns 2 there.  Somewhere along the
+  chain the read value flips: ``run^{i1}`` returns 1, ``run^{i1+1}``
+  returns 2.
+* ``run'``/``run''`` extend the flip pair with a read by ``r2`` that
+  skips ``s_{i1}`` — the only server distinguishing the two runs — so
+  ``r2`` returns the same value in both, and one of them violates P1/P2.
+
+Executed against a concrete fast candidate (the naive one-round MWMR of
+:mod:`repro.registers.naive_mwmr` by default), the harness runs the
+whole family and returns the first run whose history the checker
+rejects — a concrete counterexample, exactly as the proposition
+promises one must exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleConstructionError
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId, reader, servers, writer
+from repro.spec.histories import History, Verdict
+from repro.spec.linearizability import check_linearizable, check_mwmr_p1_p2
+
+
+@dataclass
+class MwmrRunOutcome:
+    """One executed run of the chain."""
+
+    label: str
+    flipped_servers: int
+    read_values: Dict[str, Any]
+    p1_p2: Verdict
+    linearizable: Verdict
+    history: History
+
+    @property
+    def violated(self) -> bool:
+        return not self.p1_p2.ok or not self.linearizable.ok
+
+
+@dataclass
+class MwmrConstructionResult:
+    """The whole chain plus the verdict Proposition 11 predicts."""
+
+    S: int
+    protocol: str
+    outcomes: List[MwmrRunOutcome] = field(default_factory=list)
+
+    @property
+    def first_violation(self) -> Optional[MwmrRunOutcome]:
+        for outcome in self.outcomes:
+            if outcome.violated:
+                return outcome
+        return None
+
+    @property
+    def violated(self) -> bool:
+        return self.first_violation is not None
+
+    def read_value_table(self) -> List[Tuple[str, Any]]:
+        return [
+            (outcome.label, outcome.read_values.get("r1"))
+            for outcome in self.outcomes
+        ]
+
+    def describe(self) -> str:
+        lines = [
+            f"Proposition 11 run chain against {self.protocol!r} (S={self.S}, "
+            "W=2, R=2, t=1)"
+        ]
+        for outcome in self.outcomes:
+            status = "VIOLATION" if outcome.violated else "ok"
+            lines.append(
+                f"  {outcome.label:12s} reads={outcome.read_values} [{status}]"
+            )
+        hit = self.first_violation
+        if hit is not None:
+            lines.append(f"first violation: {hit.label} — {hit.p1_p2.reason or hit.linearizable.reason}")
+        else:
+            lines.append("no violation found (the candidate is not fast, or the chain needs more runs)")
+        return "\n".join(lines)
+
+
+def _fresh_cluster(S: int, protocol: str) -> Tuple[Cluster, ScriptedExecution]:
+    config = ClusterConfig(S=S, t=1, R=2, W=2, b=0)
+    spec = get_protocol(protocol)
+    if not spec.multi_writer:
+        raise InfeasibleConstructionError(
+            f"protocol {protocol!r} is single-writer; Proposition 11 targets MWMR"
+        )
+    cluster = spec.build(config, enforce=False)
+    execution = ScriptedExecution()
+    cluster.install(execution)
+    return cluster, execution
+
+
+def _execute_chain_run(
+    S: int, protocol: str, flipped: int, extend_r2_skip: Optional[int] = None
+) -> MwmrRunOutcome:
+    """Execute ``run^{flipped+1}`` (servers ``s_1..s_flipped`` process
+    w1 before w2), optionally extended with r2's read skipping a server.
+    """
+    all_servers = servers(S)
+    flipped_set = all_servers[:flipped]
+    straight_set = all_servers[flipped:]
+
+    cluster, execution = _fresh_cluster(S, protocol)
+
+    # write(2) by w2: its message reaches the straight servers now; the
+    # flipped servers' copies stay in transit until after w1's write.
+    write2 = execution.invoke(writer(2), "write", 2)
+    execution.deliver_requests(write2, to=straight_set)
+    execution.deliver_replies(write2, from_=straight_set)
+    # With at most one server flipped w2 heard from S-1 >= S-t servers
+    # and has completed; with more it stays pending (concurrent writes).
+
+    # write(1) by w1: flipped servers process it FIRST.
+    write1 = execution.invoke(writer(1), "write", 1)
+    execution.deliver_requests(write1, to=flipped_set)
+    # ... now the flipped servers see w2's (old) message ...
+    execution.deliver_requests(write2, to=flipped_set)
+    # ... then everyone else processes w1's message.
+    execution.deliver_requests(write1, to=straight_set)
+    # Deliver all outstanding replies; multi-round writers may emit new
+    # phases, so loop to quiescence of the write traffic.
+    execution.deliver_replies(write1, from_=all_servers)
+    execution.deliver_replies(write2, from_=all_servers)
+    for op in (write1, write2):
+        if not op.complete:
+            execution.complete_operation(op, via=all_servers)
+
+    # The read by r1, skip-free; replies delivered in server order.
+    read1 = execution.invoke(reader(1), "read")
+    execution.complete_operation(read1, via=all_servers)
+    read_values = {"r1": read1.result}
+
+    label = f"run^{flipped + 1}"
+    if extend_r2_skip is not None:
+        skipped = all_servers[extend_r2_skip - 1]
+        via = [pid for pid in all_servers if pid != skipped]
+        read2 = execution.invoke(reader(2), "read")
+        execution.complete_operation(read2, via=via)
+        read_values["r2"] = read2.result
+        label += f"+r2(skip s{extend_r2_skip})"
+
+    return MwmrRunOutcome(
+        label=label,
+        flipped_servers=flipped,
+        read_values=read_values,
+        p1_p2=check_mwmr_p1_p2(execution.history),
+        linearizable=check_linearizable(execution.history),
+        history=execution.history,
+    )
+
+
+def run_sequential_family(
+    S: int = 4, protocol: str = "mwmr"
+) -> MwmrConstructionResult:
+    """Sequential counterpart used to sanity-check non-fast protocols.
+
+    Executes ``run1`` and ``run2`` (two *fully completed* sequential
+    writes in both orders, then a read, then a second read by ``r2``
+    skipping each server in turn) with every operation run to
+    completion.  A correct atomic MWMR register — such as the two-round
+    baseline — passes every run; the naive fast candidate fails
+    ``run1`` immediately.  This isolates Proposition 11's point: it is
+    *fastness* that makes MWMR atomicity unachievable, not multi-writer
+    registers as such.
+    """
+    if S < 2:
+        raise InfeasibleConstructionError("need at least 2 servers (t = 1 < S)")
+    result = MwmrConstructionResult(S=S, protocol=protocol)
+    all_servers = servers(S)
+    for order_label, first, second in (
+        ("run1(w2,w1)", (writer(2), 2), (writer(1), 1)),
+        ("run2(w1,w2)", (writer(1), 1), (writer(2), 2)),
+    ):
+        for skip in range(0, S + 1):
+            cluster, execution = _fresh_cluster(S, protocol)
+            for wid, value in (first, second):
+                op = execution.invoke(wid, "write", value)
+                execution.complete_operation(op, via=all_servers)
+            read1 = execution.invoke(reader(1), "read")
+            execution.complete_operation(read1, via=all_servers)
+            read_values = {"r1": read1.result}
+            label = order_label
+            if skip > 0:
+                skipped = all_servers[skip - 1]
+                via = [pid for pid in all_servers if pid != skipped]
+                read2 = execution.invoke(reader(2), "read")
+                execution.complete_operation(read2, via=via)
+                read_values["r2"] = read2.result
+                label += f"+r2(skip s{skip})"
+            outcome = MwmrRunOutcome(
+                label=label,
+                flipped_servers=0,
+                read_values=read_values,
+                p1_p2=check_mwmr_p1_p2(execution.history),
+                linearizable=check_linearizable(execution.history),
+                history=execution.history,
+            )
+            result.outcomes.append(outcome)
+            if outcome.violated:
+                return result
+    return result
+
+
+def run_mwmr_impossibility(
+    S: int = 4, protocol: str = "naive-fast-mwmr"
+) -> MwmrConstructionResult:
+    """Run the Proposition 11 chain; returns every executed run.
+
+    The chain stops early once a violation is certified (the
+    proposition guarantees one exists for any fast candidate); if the
+    base runs already violate P1 — as happens for the naive strawman —
+    the result records that directly.
+    """
+    if S < 2:
+        raise InfeasibleConstructionError("need at least 2 servers (t = 1 < S)")
+    result = MwmrConstructionResult(S=S, protocol=protocol)
+
+    previous: Optional[MwmrRunOutcome] = None
+    for flipped in range(0, S + 1):
+        outcome = _execute_chain_run(S, protocol, flipped)
+        result.outcomes.append(outcome)
+        if outcome.violated:
+            return result
+        if (
+            previous is not None
+            and previous.read_values["r1"] != outcome.read_values["r1"]
+        ):
+            # The flip point run^{i1} -> run^{i1+1}: extend both with
+            # r2's read skipping the distinguishing server s_{i1}.
+            i1 = flipped  # previous had `flipped-1` flips: s_flipped flipped last
+            for base_flips in (flipped - 1, flipped):
+                extended = _execute_chain_run(
+                    S, protocol, base_flips, extend_r2_skip=i1
+                )
+                result.outcomes.append(extended)
+                if extended.violated:
+                    return result
+        previous = outcome
+    return result

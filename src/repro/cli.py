@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+Entry point ``repro`` (or ``python -m repro.cli``).  Subcommands expose
+the library's main artefacts without writing code:
+
+* ``repro protocols`` — list every implemented protocol.
+* ``repro demo`` — a quick end-to-end run with verdicts.
+* ``repro feasibility`` — the main theorem's feasibility frontier.
+* ``repro lower-bound crash|byzantine|mwmr`` — execute an impossibility
+  construction and print the violating history and block diagram.
+* ``repro compare`` — latency/round comparison across protocols.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import latency_by_kind
+from repro.analysis.tables import render_table
+from repro.bounds.byzantine_construction import run_byzantine_lower_bound
+from repro.bounds.crash_construction import run_crash_lower_bound
+from repro.bounds.diagrams import render_block_diagram, render_threshold_frontier
+from repro.bounds.feasibility import max_readers
+from repro.bounds.mwmr_construction import run_mwmr_impossibility
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import PROTOCOLS
+from repro.sim.latency import UniformLatency
+from repro.workloads.generators import ClosedLoopWorkload
+from repro.workloads.runner import run_workload
+
+
+def _cmd_protocols(args: argparse.Namespace) -> int:
+    rows = [
+        (
+            spec.name,
+            spec.paper_source,
+            spec.read_rounds,
+            spec.write_rounds,
+            "yes" if spec.atomic else "no",
+            "yes" if spec.fast_reads and spec.fast_writes else "no",
+        )
+        for spec in PROTOCOLS.values()
+    ]
+    print(
+        render_table(
+            ["protocol", "paper source", "read RTT", "write RTT", "atomic", "fast"],
+            rows,
+            title="Implemented register protocols",
+        )
+    )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    config = ClusterConfig(S=args.servers, t=args.t, R=args.readers)
+    result = run_workload(
+        protocol=args.protocol,
+        config=config,
+        workload=ClosedLoopWorkload(reads_per_reader=5, writes_per_writer=5),
+        seed=args.seed,
+        latency=UniformLatency(0.5, 1.5),
+    )
+    print(result.history.describe())
+    print()
+    print(result.check_atomic().describe())
+    print(result.check_fast().describe())
+    for kind, summary in latency_by_kind(result.history).items():
+        print(f"{kind:5s} latency: {summary.describe()}")
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    print(render_threshold_frontier(S_max=args.max_servers, t=args.t, b=args.b))
+    readers = max_readers(args.max_servers, args.t, args.b)
+    shown = "unbounded" if math.isinf(readers) else int(readers)
+    print(
+        f"\nmax fast readers at S={args.max_servers}, t={args.t}, b={args.b}: {shown}"
+    )
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    if args.model == "crash":
+        result = run_crash_lower_bound(S=args.servers, t=args.t, R=args.readers)
+    elif args.model == "byzantine":
+        result = run_byzantine_lower_bound(
+            S=args.servers, t=args.t, b=args.b, R=args.readers
+        )
+    else:
+        chain = run_mwmr_impossibility(S=args.servers)
+        print(chain.describe())
+        return 0 if chain.violated else 1
+    print(result.describe())
+    print()
+    print(render_block_diagram(result))
+    print()
+    print(result.history.describe())
+    return 0 if result.violated else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text, all_ok = generate_report()
+    print(text)
+    return 0 if all_ok else 1
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    if args.model == "crash":
+        from repro.bounds.indistinguishability import verify_crash_chain
+
+        report = verify_crash_chain(S=args.servers, t=args.t, R=args.readers)
+    else:
+        from repro.bounds.byzantine_indistinguishability import (
+            verify_byzantine_chain,
+        )
+
+        report = verify_byzantine_chain(
+            S=args.servers, t=args.t, b=args.b, R=args.readers
+        )
+    print(report.describe())
+    return 0 if report.all_hold else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in args.protocols:
+        spec = PROTOCOLS[name]
+        if spec.multi_writer:
+            continue
+        config = ClusterConfig(S=args.servers, t=args.t, R=args.readers)
+        problem = spec.requirement(config)
+        if problem is not None:
+            rows.append((name, "-", "-", f"infeasible: {problem}"))
+            continue
+        result = run_workload(
+            protocol=name,
+            config=config,
+            workload=ClosedLoopWorkload(
+                reads_per_reader=args.ops, writes_per_writer=args.ops
+            ),
+            seed=args.seed,
+            latency=UniformLatency(0.5, 1.5),
+        )
+        summaries = latency_by_kind(result.history)
+        rows.append(
+            (
+                name,
+                f"{summaries['read'].mean:.3f}",
+                f"{summaries['write'].mean:.3f}",
+                result.check_atomic().describe(),
+            )
+        )
+    print(
+        render_table(
+            ["protocol", "mean read", "mean write", "verdict"],
+            rows,
+            title=f"S={args.servers}, t={args.t}, R={args.readers}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'How Fast can a Distributed Atomic Read be?' "
+        "(PODC 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("protocols", help="list implemented protocols").set_defaults(
+        fn=_cmd_protocols
+    )
+
+    demo = sub.add_parser("demo", help="run a small end-to-end demo")
+    demo.add_argument("--protocol", default="fast-crash", choices=sorted(PROTOCOLS))
+    demo.add_argument("--servers", type=int, default=8)
+    demo.add_argument("--t", type=int, default=1)
+    demo.add_argument("--readers", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(fn=_cmd_demo)
+
+    feas = sub.add_parser("feasibility", help="print the feasibility frontier")
+    feas.add_argument("--max-servers", type=int, default=16)
+    feas.add_argument("--t", type=int, default=1)
+    feas.add_argument("--b", type=int, default=0)
+    feas.set_defaults(fn=_cmd_feasibility)
+
+    lb = sub.add_parser("lower-bound", help="execute an impossibility construction")
+    lb.add_argument("model", choices=["crash", "byzantine", "mwmr"])
+    lb.add_argument("--servers", type=int, default=4)
+    lb.add_argument("--t", type=int, default=1)
+    lb.add_argument("--b", type=int, default=1)
+    lb.add_argument("--readers", type=int, default=2)
+    lb.set_defaults(fn=_cmd_lower_bound)
+
+    sub.add_parser(
+        "report", help="run a compact version of every experiment (E1-E11)"
+    ).set_defaults(fn=_cmd_report)
+
+    chain = sub.add_parser(
+        "chain",
+        help="execute an impossibility proof's indistinguishability chain",
+    )
+    chain.add_argument("model", choices=["crash", "byzantine"])
+    chain.add_argument("--servers", type=int, default=4)
+    chain.add_argument("--t", type=int, default=1)
+    chain.add_argument("--b", type=int, default=1)
+    chain.add_argument("--readers", type=int, default=2)
+    chain.set_defaults(fn=_cmd_chain)
+
+    cmp_ = sub.add_parser("compare", help="compare protocols on one workload")
+    cmp_.add_argument("--servers", type=int, default=9)
+    cmp_.add_argument("--t", type=int, default=1)
+    cmp_.add_argument("--readers", type=int, default=3)
+    cmp_.add_argument("--ops", type=int, default=10)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["fast-crash", "abd", "maxmin", "regular-fast"],
+        choices=sorted(PROTOCOLS),
+    )
+    cmp_.set_defaults(fn=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Simulated cryptography substrate (signatures for Section 6)."""
+
+from repro.crypto.signatures import SignatureAuthority, SignedPayload
+
+__all__ = ["SignatureAuthority", "SignedPayload"]

@@ -1,0 +1,125 @@
+"""Simulated unforgeable digital signatures.
+
+The Byzantine algorithm of Figure 5 relies on exactly two properties of
+signatures (Section 6.1):
+
+* **Authentication** — readers can check that a timestamp returned by a
+  server was in fact produced by the writer.
+* **Unforgeability** — nobody but the writer can produce a valid
+  signature over a new timestamp.
+
+We realise both with HMAC-SHA256 under per-signer secrets held by a
+:class:`SignatureAuthority`.  The honest code path signs through the
+authority; Byzantine code may *construct* arbitrary
+:class:`SignedPayload` objects, but verification recomputes the MAC with
+the true secret and rejects anything the signer did not produce — the
+executable analogue of unforgeability.  (We simulate asymmetric
+signatures with a trusted verifier rather than implement RSA; the
+algorithms only ever call ``sign`` and ``verify``.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.errors import SignatureError
+from repro.sim.ids import ProcessId
+
+
+def _canonical(data: Any) -> bytes:
+    """Stable byte encoding of signable payloads.
+
+    Supports the tuples/ints/strings the register protocols sign.  A
+    canonical form matters: two equal payloads must produce equal bytes.
+    """
+    if isinstance(data, tuple):
+        return b"(" + b",".join(_canonical(item) for item in data) + b")"
+    if isinstance(data, (int, float, bool)) or data is None:
+        return f"{type(data).__name__}:{data!r}".encode("utf8")
+    if isinstance(data, str):
+        return b"s:" + data.encode("utf8")
+    if isinstance(data, bytes):
+        return b"b:" + data
+    if isinstance(data, ProcessId):
+        return f"p:{data.kind}:{data.index}".encode("utf8")
+    if isinstance(data, frozenset):
+        parts = sorted(_canonical(item) for item in data)
+        return b"{" + b",".join(parts) + b"}"
+    raise SignatureError(f"cannot canonicalise {type(data).__name__} for signing")
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A payload together with a claimed signer and a signature tag.
+
+    Instances are inert data: validity is established only by
+    :meth:`SignatureAuthority.verify`.
+    """
+
+    signer: ProcessId
+    payload: Any
+    tag: bytes
+
+    def describe(self) -> str:
+        return f"<{self.payload!r} signed by {self.signer} tag={self.tag[:6].hex()}>"
+
+
+class SignatureAuthority:
+    """Holds signer secrets; the trusted root of the signature scheme.
+
+    One authority is created per cluster.  Honest processes receive a
+    reference for signing/verifying.  Byzantine behaviours in
+    :mod:`repro.faults.byzantine` are written against the same interface
+    but never learn secrets, so their forgeries fail verification.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._secrets: Dict[ProcessId, bytes] = {}
+
+    def register(self, signer: ProcessId) -> None:
+        """Provision a secret for a signer (idempotent)."""
+        if signer not in self._secrets:
+            material = f"secret/{self._seed}/{signer.kind}/{signer.index}"
+            self._secrets[signer] = hashlib.sha256(material.encode("utf8")).digest()
+
+    def _secret(self, signer: ProcessId) -> bytes:
+        try:
+            return self._secrets[signer]
+        except KeyError:
+            raise SignatureError(f"{signer} is not a registered signer") from None
+
+    def sign(self, signer: ProcessId, payload: Any) -> SignedPayload:
+        """Produce a valid signature; only the library's honest code
+        paths call this with a given signer identity."""
+        tag = hmac.new(self._secret(signer), _canonical(payload), hashlib.sha256)
+        return SignedPayload(signer=signer, payload=payload, tag=tag.digest())
+
+    def verify(self, signed: SignedPayload) -> bool:
+        """True iff ``signed`` was produced by :meth:`sign` for its
+        claimed signer and payload."""
+        if not isinstance(signed, SignedPayload):
+            return False
+        if signed.signer not in self._secrets:
+            return False
+        expected = hmac.new(
+            self._secrets[signed.signer], _canonical(signed.payload), hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, signed.tag)
+
+    def forge(self, claimed_signer: ProcessId, payload: Any) -> SignedPayload:
+        """Construct an *invalid* signature, as a Byzantine process would.
+
+        Provided so attack code and tests never accidentally touch real
+        secrets: the tag is a hash of the payload without any secret and
+        will not verify (except with negligible probability, which for
+        HMAC-SHA256 is zero in practice).
+        """
+        fake_tag = hashlib.sha256(b"forged:" + _canonical(payload)).digest()
+        return SignedPayload(signer=claimed_signer, payload=payload, tag=fake_tag)
+
+
+__all__ = ["SignatureAuthority", "SignedPayload"]

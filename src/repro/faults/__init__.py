@@ -1,0 +1,31 @@
+"""Fault injection: crash plans and Byzantine server behaviours."""
+
+from repro.faults.byzantine import (
+    ByzantineServer,
+    ForgedTagServer,
+    SeenInflaterServer,
+    SilentServer,
+    StaleReplayServer,
+    TwoFacedServer,
+    run_captured,
+)
+from repro.faults.crash import (
+    CrashEvent,
+    CrashPlan,
+    crash_writer_mid_write,
+    random_server_crashes,
+)
+
+__all__ = [
+    "ByzantineServer",
+    "CrashEvent",
+    "CrashPlan",
+    "ForgedTagServer",
+    "SeenInflaterServer",
+    "SilentServer",
+    "StaleReplayServer",
+    "TwoFacedServer",
+    "crash_writer_mid_write",
+    "random_server_crashes",
+    "run_captured",
+]

@@ -1,0 +1,239 @@
+"""Byzantine server behaviours (Section 6's "malicious" processes).
+
+Each behaviour is a drop-in :class:`~repro.sim.process.Process` that
+replaces an honest server (same process id) via
+:meth:`repro.registers.base.Cluster.replace_server`.  None of them can
+forge the writer's signature — they manipulate only information they
+legitimately received, which is exactly the adversary the Figure 5
+algorithm is proved against:
+
+* :class:`SilentServer` — crashes from the start (the ``b ≤ t`` liars
+  may also simply stop).
+* :class:`StaleReplayServer` — answers every request with the oldest
+  tag it knows (validly signed, maximally stale).
+* :class:`SeenInflaterServer` — answers honestly but claims *every*
+  client is in its ``seen`` set, attacking the fast-read predicate from
+  the other side.
+* :class:`ForgedTagServer` — tries to invent a huge timestamp with a
+  forged signature; honest readers and servers must discard it.
+* :class:`TwoFacedServer` — maintains a real state and a shadow state
+  that never learns about writes, answering a chosen set of victims
+  from the shadow.  With the victims set to one reader this is
+  precisely the "loses its memory towards r1" failure of the
+  Section 6.2 lower-bound run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import ProtocolError
+from repro.registers import messages as msg
+from repro.registers.timestamps import INITIAL_SIGNED_TAG, SignedValueTag
+from repro.sim.ids import ProcessId
+from repro.sim.process import Context, Process
+
+
+class _CaptureContext:
+    """A context that records sends instead of performing them.
+
+    Used to run an inner honest automaton and intercept its output; the
+    Byzantine wrapper then decides what actually goes on the wire.
+    """
+
+    def __init__(self, now: float, pid: ProcessId) -> None:
+        self.now = now
+        self.pid = pid
+        self.sent: List[Tuple[ProcessId, Any]] = []
+
+    def send(self, dst: ProcessId, payload: Any) -> None:
+        self.sent.append((dst, payload))
+
+    def multicast(self, dsts, payload_for) -> None:
+        for dst in dsts:
+            payload = payload_for(dst) if callable(payload_for) else payload_for
+            self.send(dst, payload)
+
+    def complete(self, result: Any) -> None:
+        raise ProtocolError("server automata never complete operations")
+
+
+def run_captured(
+    inner: Process, payload: Any, src: ProcessId, now: float
+) -> List[Tuple[ProcessId, Any]]:
+    """Feed one message to an inner automaton, returning its sends."""
+    capture = _CaptureContext(now, inner.pid)
+    inner.on_message(payload, src, capture)
+    return capture.sent
+
+
+class ByzantineServer(Process):
+    """Marker base class; ``is_byzantine`` lets tests count liars."""
+
+    is_byzantine = True
+
+
+class SilentServer(ByzantineServer):
+    """Never answers anything."""
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        return
+
+
+class StaleReplayServer(ByzantineServer):
+    """Wraps an honest server but always replies with the initial tag.
+
+    The initial tag is validly "signed" (it is the unsigned timestamp 0
+    the protocol accepts), so this attack passes authentication and must
+    be defeated by the reader's staleness filter (``ts' >= ts``) and the
+    predicate's ``- (a-1)b`` slack.
+    """
+
+    def __init__(self, inner: Process) -> None:
+        super().__init__(inner.pid)
+        self.inner = inner
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
+            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
+                reply = type(reply)(
+                    op_id=reply.op_id,
+                    tag=INITIAL_SIGNED_TAG,
+                    seen=reply.seen,
+                    r_counter=reply.r_counter,
+                )
+            ctx.send(dst, reply)
+
+
+class SeenInflaterServer(ByzantineServer):
+    """Claims every client has seen its tag.
+
+    This is the most interesting attack on Figure 5: the ``seen`` sets
+    are unauthenticated server claims, and inflating them pushes the
+    predicate towards accepting ``maxTS``.  The algorithm survives
+    because the predicate demands ``S - a·t - (a-1)·b`` *distinct* acks,
+    of which at most ``b`` can be liars.
+    """
+
+    def __init__(self, inner: Process, all_clients: Iterable[ProcessId]) -> None:
+        super().__init__(inner.pid)
+        self.inner = inner
+        self.claimed: FrozenSet[ProcessId] = frozenset(all_clients)
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
+            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
+                reply = type(reply)(
+                    op_id=reply.op_id,
+                    tag=reply.tag,
+                    seen=self.claimed,
+                    r_counter=reply.r_counter,
+                )
+            ctx.send(dst, reply)
+
+
+class ForgedTagServer(ByzantineServer):
+    """Tries to fabricate a future timestamp with a forged signature."""
+
+    def __init__(
+        self,
+        inner: Process,
+        authority: SignatureAuthority,
+        writer: ProcessId,
+        forged_ts: int = 1_000_000,
+    ) -> None:
+        super().__init__(inner.pid)
+        self.inner = inner
+        self.forged_tag = SignedValueTag(
+            ts=forged_ts,
+            value="forged-value",
+            prev_value="forged-prev",
+            signed=authority.forge(writer, (forged_ts, "forged-value", "forged-prev")),
+        )
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
+            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
+                reply = type(reply)(
+                    op_id=reply.op_id,
+                    tag=self.forged_tag,
+                    seen=reply.seen,
+                    r_counter=reply.r_counter,
+                )
+            ctx.send(dst, reply)
+
+
+class MemoryWipeServer(ByzantineServer):
+    """Delegates to an honest automaton until :meth:`wipe` is called,
+    then continues from a factory-fresh state.
+
+    This is the "loses its memory" failure of the Section 6.2 lower
+    bound's intermediate runs ``pr_i``: the server behaves correctly,
+    then forgets everything it ever received (including the write) and
+    keeps behaving correctly from the blank state.  No signature is
+    forged — information is only destroyed.
+    """
+
+    def __init__(self, pid: ProcessId, make_inner: Callable[[], Process]) -> None:
+        super().__init__(pid)
+        self._make_inner = make_inner
+        self.inner = make_inner()
+        if self.inner.pid != pid:
+            raise ProtocolError("inner automaton must carry the impostor's pid")
+        self.wiped = False
+
+    def wipe(self) -> None:
+        self.inner = self._make_inner()
+        self.wiped = True
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
+            ctx.send(dst, reply)
+
+
+class TwoFacedServer(ByzantineServer):
+    """Answers ``victims`` from a shadow state that never saw any write.
+
+    ``make_inner`` builds one honest automaton; two instances are kept:
+    ``real`` (receives everything) and ``shadow`` (receives everything
+    except write messages).  Replies to victims come from the shadow —
+    "as if it never received a write message" — and replies to everyone
+    else from the real state, matching the ``B_{R+1}`` failure of the
+    Section 6.2 construction.
+    """
+
+    #: message types hidden from the shadow state
+    WRITE_TYPES = (msg.FastWrite, msg.Store)
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        make_inner: Callable[[], Process],
+        victims: Iterable[ProcessId],
+    ) -> None:
+        super().__init__(pid)
+        self.real = make_inner()
+        self.shadow = make_inner()
+        if self.real.pid != pid or self.shadow.pid != pid:
+            raise ProtocolError("inner automata must carry the impostor's pid")
+        self.victims = frozenset(victims)
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        is_write = isinstance(payload, self.WRITE_TYPES)
+        real_out = run_captured(self.real, payload, src, ctx.now)
+        shadow_out: List[Tuple[ProcessId, Any]] = []
+        if not is_write:
+            shadow_out = run_captured(self.shadow, payload, src, ctx.now)
+        if src in self.victims:
+            chosen = shadow_out
+        else:
+            chosen = real_out
+        for dst, reply in chosen:
+            ctx.send(dst, reply)
+
+    def describe_state(self) -> str:
+        return (
+            f"TwoFacedServer({self.pid}, victims="
+            f"{{{','.join(sorted(str(v) for v in self.victims))}}})"
+        )

@@ -1,0 +1,93 @@
+"""Crash fault injection for free-running simulations.
+
+The model allows any number of client crashes and up to ``t`` server
+crashes per run; a crashing process may stop mid-multicast, having sent
+to an arbitrary subset (Section 4's "processes may crash in the middle
+of a line").  These helpers express standard fault plans on top of
+:class:`repro.sim.runtime.Simulation`'s primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.registers.base import ClusterConfig
+from repro.sim.ids import ProcessId
+from repro.sim.runtime import Simulation
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One planned crash: the process and the virtual time."""
+
+    pid: ProcessId
+    at: float
+
+
+@dataclass
+class CrashPlan:
+    """A set of crashes to arm on a simulation."""
+
+    events: List[CrashEvent] = field(default_factory=list)
+
+    def add(self, pid: ProcessId, at: float) -> "CrashPlan":
+        self.events.append(CrashEvent(pid=pid, at=at))
+        return self
+
+    def server_crashes(self) -> List[CrashEvent]:
+        return [event for event in self.events if event.pid.is_server]
+
+    def arm(self, sim: Simulation) -> None:
+        for event in self.events:
+            sim.crash_at(event.at, event.pid)
+
+    def validate(self, config: ClusterConfig) -> None:
+        """Reject plans that exceed the model's ``t`` server crashes."""
+        crashed_servers = {event.pid for event in self.server_crashes()}
+        if len(crashed_servers) > config.t:
+            raise ConfigurationError(
+                f"plan crashes {len(crashed_servers)} servers but the model "
+                f"allows at most t={config.t}"
+            )
+
+
+def random_server_crashes(
+    config: ClusterConfig,
+    rng: random.Random,
+    count: Optional[int] = None,
+    window: float = 50.0,
+) -> CrashPlan:
+    """Crash ``count`` (default: up to ``t``) random servers at random
+    times within ``[0, window]``."""
+    if count is None:
+        count = rng.randint(0, config.t)
+    if count > config.t:
+        raise ConfigurationError(f"cannot crash {count} > t={config.t} servers")
+    victims = rng.sample(config.server_ids, count)
+    plan = CrashPlan()
+    for pid in victims:
+        plan.add(pid, rng.uniform(0.0, window))
+    return plan
+
+
+def crash_writer_mid_write(
+    sim: Simulation,
+    config: ClusterConfig,
+    reach: int,
+    writer_pid: Optional[ProcessId] = None,
+) -> None:
+    """Arm the writer to crash after its next ``reach`` sends.
+
+    This realises the paper's canonical *incomplete write*: the write
+    message reaches exactly ``reach`` servers and nobody else ever hears
+    of it, which is the situation the fast-read predicate must survive.
+    Call immediately before invoking the write.
+    """
+    from repro.sim.ids import writer as writer_id
+
+    if not 0 <= reach <= config.S:
+        raise ConfigurationError(f"reach must be within [0, S]; got {reach}")
+    sim.crash_after_sends(writer_pid or writer_id(1), reach)

@@ -1,0 +1,319 @@
+"""Ablations of Figure 2's design choices.
+
+The fast protocol has four load-bearing components; removing any one of
+them admits a concrete atomicity violation, which this module builds as
+a scripted run (with the faithful protocol run under the *same* schedule
+as a control):
+
+* **The predicate** (line 19).  ``EagerReader`` returns ``maxTS``
+  unconditionally: a reader that observes a freshly-incomplete write at
+  one server returns it, and the next reader misses it entirely.
+  ``TimidReader`` returns ``maxTS − 1`` unconditionally: it violates
+  read-after-write even in failure-free runs (Lemma 3's case).
+* **The seen-set reset** (line 28, ``seen ← {q}``).  ``NoResetServer``
+  keeps accumulating: witnesses of an *old* timestamp masquerade as
+  witnesses of the new one, firing the predicate without real evidence.
+* **The full write quorum** (line 6, ``S − t`` acks).  ``HastyWriter``
+  returns after fewer acks; a completed write can then be invisible to
+  a subsequent read.
+
+The read counters (line 26) are the fourth component; their role is
+ruled out only by the full case analysis of Lemma 4 (case <5>2), and no
+short schedule exhibits a violation — the ablation tests document this
+by fuzzing ``NoCounterServer`` under message reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.registers import messages as msg
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.fast_crash import (
+    FastCrashReader,
+    FastCrashServer,
+    FastCrashWriter,
+)
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId, client_index, reader, server, servers, writer
+from repro.sim.process import Context
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.histories import BOTTOM, History, Verdict
+
+
+class EagerReader(FastCrashReader):
+    """Skips the predicate: always returns the maxTS value."""
+
+    def _decide(self, ctx: Context) -> None:
+        acks = self._acks.payloads()
+        max_ts = max(ack.tag.ts for ack in acks)
+        self.max_tag = next(ack.tag for ack in acks if ack.tag.ts == max_ts)
+        ctx.complete(self.max_tag.value)
+
+
+class TimidReader(FastCrashReader):
+    """Skips the predicate the other way: always returns maxTS - 1."""
+
+    def _decide(self, ctx: Context) -> None:
+        acks = self._acks.payloads()
+        max_ts = max(ack.tag.ts for ack in acks)
+        self.max_tag = next(ack.tag for ack in acks if ack.tag.ts == max_ts)
+        ctx.complete(self.max_tag.prev_value)
+
+
+class NoResetServer(FastCrashServer):
+    """Accumulates ``seen`` across timestamp changes (drops line 28)."""
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if not isinstance(payload, (msg.FastRead, msg.FastWrite)):
+            return
+        cidx = client_index(src)
+        if payload.r_counter < self.counter.get(cidx, 0):
+            return
+        if payload.tag.ts > self.tag.ts:
+            self.tag = payload.tag
+            self.seen.add(src)  # BUG under test: no reset to {src}
+        else:
+            self.seen.add(src)
+        self.counter[cidx] = payload.r_counter
+        ack_type = msg.FastReadAck if isinstance(payload, msg.FastRead) else msg.FastWriteAck
+        ctx.send(
+            src,
+            ack_type(
+                op_id=payload.op_id,
+                tag=self.tag,
+                seen=frozenset(self.seen),
+                r_counter=payload.r_counter,
+            ),
+        )
+
+
+class NoCounterServer(FastCrashServer):
+    """Ignores the per-client read counters (drops line 26's guard)."""
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if not isinstance(payload, (msg.FastRead, msg.FastWrite)):
+            return
+        if payload.tag.ts > self.tag.ts:
+            self.tag = payload.tag
+            self.seen = {src}
+        else:
+            self.seen.add(src)
+        ack_type = msg.FastReadAck if isinstance(payload, msg.FastRead) else msg.FastWriteAck
+        ctx.send(
+            src,
+            ack_type(
+                op_id=payload.op_id,
+                tag=self.tag,
+                seen=frozenset(self.seen),
+                r_counter=payload.r_counter,
+            ),
+        )
+
+
+class HastyWriter(FastCrashWriter):
+    """Declares a write complete after a single ack instead of S - t."""
+
+    def on_invoke(self, op, ctx: Context) -> None:
+        super().on_invoke(op, ctx)
+        assert self._acks is not None
+        self._acks.threshold = 1
+
+
+def build_ablated_cluster(
+    config: ClusterConfig,
+    reader_cls: Type[FastCrashReader] = FastCrashReader,
+    server_cls: Type[FastCrashServer] = FastCrashServer,
+    writer_cls: Type[FastCrashWriter] = FastCrashWriter,
+) -> Cluster:
+    """A fast-crash cluster with chosen components replaced."""
+    return Cluster(
+        config=config,
+        protocol="fast-crash(ablated)",
+        servers=[server_cls(pid, config) for pid in config.server_ids],
+        readers=[reader_cls(pid, config) for pid in config.reader_ids],
+        writers=[writer_cls(pid, config) for pid in config.writer_ids],
+    )
+
+
+@dataclass
+class AblationWitness:
+    """Outcome of one ablation schedule, ablated and control."""
+
+    name: str
+    ablated_history: History
+    ablated_verdict: Verdict
+    control_history: History
+    control_verdict: Verdict
+    narrative: List[str] = field(default_factory=list)
+
+    @property
+    def demonstrates_necessity(self) -> bool:
+        """The component matters: removing it breaks the run that the
+        faithful protocol survives."""
+        return (not self.ablated_verdict.ok) and self.control_verdict.ok
+
+    def describe(self) -> str:
+        lines = [f"ablation: {self.name}"]
+        lines.extend(self.narrative)
+        lines.append(f"ablated : {self.ablated_verdict.describe()}")
+        lines.append(f"control : {self.control_verdict.describe()}")
+        return "\n".join(lines)
+
+
+def _run_schedule(cluster: Cluster, schedule) -> History:
+    execution = ScriptedExecution()
+    cluster.install(execution)
+    schedule(execution)
+    return execution.history
+
+
+def demonstrate_eager_reader() -> AblationWitness:
+    """Without the predicate, an incomplete write seen at one server is
+    returned and then lost — the introduction's two-reader scenario."""
+    config = ClusterConfig(S=8, t=1, R=3)
+
+    def schedule(execution: ScriptedExecution) -> None:
+        write_op = execution.invoke(writer(1), "write", 1)
+        execution.deliver_requests(write_op, to=[server(1)])  # incomplete
+        read1 = execution.invoke(reader(1), "read")
+        via1 = servers(8)[:7]  # includes s1
+        execution.deliver_requests(read1, to=via1)
+        execution.deliver_replies(read1, from_=via1)
+        read2 = execution.invoke(reader(2), "read")
+        via2 = servers(8)[1:]  # misses s1
+        execution.deliver_requests(read2, to=via2)
+        execution.deliver_replies(read2, from_=via2)
+
+    ablated = _run_schedule(
+        build_ablated_cluster(config, reader_cls=EagerReader), schedule
+    )
+    control = _run_schedule(build_ablated_cluster(config), schedule)
+    return AblationWitness(
+        name="predicate removed (always return maxTS)",
+        ablated_history=ablated,
+        ablated_verdict=check_swmr_atomicity(ablated),
+        control_history=control,
+        control_verdict=check_swmr_atomicity(control),
+        narrative=[
+            "write(1) reaches only s1; r1 reads {s1..s7}, r2 reads {s2..s8}",
+            "eager r1 returns the half-written 1, r2 then returns ⊥",
+            "the faithful predicate makes r1 return ⊥ (1 witness < S - t)",
+        ],
+    )
+
+
+def demonstrate_timid_reader() -> AblationWitness:
+    """Always returning maxTS - 1 breaks read-after-write (Lemma 3)."""
+    config = ClusterConfig(S=8, t=1, R=3)
+
+    def schedule(execution: ScriptedExecution) -> None:
+        write_op = execution.invoke(writer(1), "write", 1)
+        execution.run_to_quiescence()
+        assert write_op.complete
+        read1 = execution.invoke(reader(1), "read")
+        execution.run_to_quiescence()
+
+    ablated = _run_schedule(
+        build_ablated_cluster(config, reader_cls=TimidReader), schedule
+    )
+    control = _run_schedule(build_ablated_cluster(config), schedule)
+    return AblationWitness(
+        name="predicate removed (always return maxTS - 1)",
+        ablated_history=ablated,
+        ablated_verdict=check_swmr_atomicity(ablated),
+        control_history=control,
+        control_verdict=check_swmr_atomicity(control),
+        narrative=[
+            "write(1) completes at all servers; the read still returns ⊥",
+            "condition 2 (read-after-write) is violated outright",
+        ],
+    )
+
+
+def demonstrate_no_seen_reset() -> AblationWitness:
+    """Without line 28's reset, witnesses of timestamp 0 pose as
+    witnesses of timestamp 1 and the predicate fires without evidence."""
+    config = ClusterConfig(S=6, t=1, R=3)
+
+    def schedule(execution: ScriptedExecution) -> None:
+        # Three reads at timestamp 0 leave {r1, r2, r3} in the seen sets
+        # of s1 and s2.
+        for index in (1, 2, 3):
+            read_op = execution.invoke(reader(index), "read")
+            via = servers(6)[:5]
+            execution.deliver_requests(read_op, to=via)
+            execution.deliver_replies(read_op, from_=via)
+        # An incomplete write reaches s1 and s2 only.
+        write_op = execution.invoke(writer(1), "write", 1)
+        execution.deliver_requests(write_op, to=[server(1), server(2)])
+        # r1 reads {s1..s5}: two maxTS acks whose polluted seen sets
+        # contain 4 processes -> the ablated predicate fires (a = 4).
+        read1 = execution.invoke(reader(1), "read")
+        via1 = servers(6)[:5]
+        execution.deliver_requests(read1, to=via1)
+        execution.deliver_replies(read1, from_=via1)
+        # r2 reads {s2..s6}: one maxTS ack; predicate fails; returns ⊥.
+        read2 = execution.invoke(reader(2), "read")
+        via2 = servers(6)[1:]
+        execution.deliver_requests(read2, to=via2)
+        execution.deliver_replies(read2, from_=via2)
+
+    ablated = _run_schedule(
+        build_ablated_cluster(config, server_cls=NoResetServer), schedule
+    )
+    control = _run_schedule(build_ablated_cluster(config), schedule)
+    return AblationWitness(
+        name="seen-set reset removed (line 28)",
+        ablated_history=ablated,
+        ablated_verdict=check_swmr_atomicity(ablated),
+        control_history=control,
+        control_verdict=check_swmr_atomicity(control),
+        narrative=[
+            "stale witnesses of ts=0 remain in seen when ts=1 arrives",
+            "r1's predicate fires with a=4 on two polluted acks, returns 1",
+            "r2 misses s1, finds one maxTS ack, returns ⊥: inversion",
+        ],
+    )
+
+
+def demonstrate_hasty_writer() -> AblationWitness:
+    """A write acknowledged by fewer than S - t servers can complete and
+    then be invisible to a read that misses them all."""
+    config = ClusterConfig(S=8, t=1, R=3)
+
+    def schedule(execution: ScriptedExecution) -> None:
+        write_op = execution.invoke(writer(1), "write", 1)
+        execution.deliver_requests(write_op, to=[server(1)])
+        execution.deliver_replies(write_op, from_=[server(1)])
+        # the hasty writer has completed; the faithful one is pending
+        read1 = execution.invoke(reader(1), "read")
+        via = servers(8)[1:]  # S - t acks, missing s1
+        execution.deliver_requests(read1, to=via)
+        execution.deliver_replies(read1, from_=via)
+
+    ablated = _run_schedule(
+        build_ablated_cluster(config, writer_cls=HastyWriter), schedule
+    )
+    control = _run_schedule(build_ablated_cluster(config), schedule)
+    return AblationWitness(
+        name="write quorum shrunk below S - t (line 6)",
+        ablated_history=ablated,
+        ablated_verdict=check_swmr_atomicity(ablated),
+        control_history=control,
+        control_verdict=check_swmr_atomicity(control),
+        narrative=[
+            "the write 'completes' after one ack; the read misses s1",
+            "a complete write followed by a read of ⊥: condition 2 violated",
+            "(in the control run the write simply never completes: legal)",
+        ],
+    )
+
+
+ABLATIONS: Dict[str, Callable[[], AblationWitness]] = {
+    "eager-reader": demonstrate_eager_reader,
+    "timid-reader": demonstrate_timid_reader,
+    "no-seen-reset": demonstrate_no_seen_reset,
+    "hasty-writer": demonstrate_hasty_writer,
+}

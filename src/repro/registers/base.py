@@ -1,0 +1,201 @@
+"""Shared plumbing for register protocols.
+
+* :class:`ClusterConfig` — the system parameters ``(S, t, R, W, b)`` and
+  the derived quantities (process id lists, the ``S - t`` quorum).
+* :class:`AckSet` — client-side collection of replies from distinct
+  servers up to a threshold.
+* :class:`StorageServer` — the generic adopt-if-newer tag store used by
+  every non-fast protocol (ABD, SWSR, regular, MWMR, max-min writes).
+* :class:`Cluster` — the assembled processes of one protocol instance,
+  ready to install into either runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import ConfigurationError
+from repro.registers import messages as msg
+from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.sim.ids import ProcessId
+from repro.sim.process import ClientProcess, Context, Process
+from repro.sim import ids
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """System parameters of one register deployment.
+
+    Attributes:
+        S: number of servers.
+        t: maximum number of faulty servers (crash or Byzantine).
+        R: number of readers.
+        W: number of writers (1 except for Section 7 experiments).
+        b: maximum number of *Byzantine* servers among the ``t`` faulty
+            ones (``b <= t``), per Section 6.
+    """
+
+    S: int
+    t: int
+    R: int
+    W: int = 1
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        if self.S < 1:
+            raise ConfigurationError("need at least one server")
+        if not 0 <= self.t < self.S:
+            raise ConfigurationError(
+                f"faulty servers t={self.t} must satisfy 0 <= t < S={self.S}"
+            )
+        if self.R < 0 or self.W < 1:
+            raise ConfigurationError("need R >= 0 readers and W >= 1 writers")
+        if not 0 <= self.b <= self.t:
+            raise ConfigurationError(
+                f"Byzantine servers b={self.b} must satisfy 0 <= b <= t={self.t}"
+            )
+
+    @property
+    def quorum(self) -> int:
+        """Replies a client may wait for: ``S - t`` (Section 3.2)."""
+        return self.S - self.t
+
+    @property
+    def server_ids(self) -> List[ProcessId]:
+        return ids.servers(self.S)
+
+    @property
+    def reader_ids(self) -> List[ProcessId]:
+        return ids.readers(self.R)
+
+    @property
+    def writer_ids(self) -> List[ProcessId]:
+        return ids.writers(self.W)
+
+    @property
+    def client_ids(self) -> List[ProcessId]:
+        return self.writer_ids + self.reader_ids
+
+
+class AckSet:
+    """Collects replies from distinct senders until a threshold.
+
+    ``add`` returns True exactly once — when the threshold is reached —
+    so client automata can trigger their decision step exactly once even
+    if further (late) replies arrive.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ConfigurationError("ack threshold must be at least 1")
+        self.threshold = threshold
+        self.replies: Dict[ProcessId, Any] = {}
+        self._fired = False
+
+    def add(self, src: ProcessId, payload: Any) -> bool:
+        if src in self.replies:
+            return False  # channels do not duplicate; ignore repeats/forgeries
+        self.replies[src] = payload
+        if not self._fired and len(self.replies) >= self.threshold:
+            self._fired = True
+            return True
+        return False
+
+    @property
+    def count(self) -> int:
+        return len(self.replies)
+
+    def payloads(self) -> List[Any]:
+        return list(self.replies.values())
+
+    def senders(self) -> List[ProcessId]:
+        return list(self.replies.keys())
+
+
+class StorageServer(Process):
+    """Generic replica: stores the highest tag seen, answers queries.
+
+    Handles the ``Query``/``Store`` family.  Protocol-specific servers
+    (fast, max-min) implement their own richer automata.
+    """
+
+    def __init__(self, pid: ProcessId, initial_tag: ValueTag = INITIAL_TAG) -> None:
+        super().__init__(pid)
+        self.tag = initial_tag
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if isinstance(payload, msg.Query):
+            ctx.send(src, msg.QueryReply(op_id=payload.op_id, tag=self.tag))
+        elif isinstance(payload, msg.Store):
+            if payload.tag.ts > self.tag.ts:
+                self.tag = payload.tag
+            ctx.send(src, msg.StoreAck(op_id=payload.op_id, ts=payload.tag.ts))
+        # Unknown messages are ignored: in the Byzantine experiments
+        # honest servers may legitimately receive garbage.
+
+    def describe_state(self) -> str:
+        return f"{type(self).__name__}({self.pid}, tag={self.tag})"
+
+
+class RegisterClient(ClientProcess):
+    """Base for protocol clients: stores the configuration."""
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig) -> None:
+        super().__init__(pid)
+        self.config = config
+
+    def _matches_current(self, payload: Any) -> bool:
+        """True when a reply belongs to the pending operation."""
+        return (
+            self.current_op is not None
+            and getattr(payload, "op_id", None) == self.current_op.op_id
+        )
+
+
+@dataclass
+class Cluster:
+    """One assembled protocol deployment.
+
+    ``install`` registers every process with a runtime (free-running or
+    scripted) and returns it, enabling
+    ``ScriptedExecution()`` / ``Simulation()`` + ``cluster.install(...)``
+    one-liners in tests and benchmarks.
+    """
+
+    config: ClusterConfig
+    protocol: str
+    servers: List[Process]
+    readers: List[ClientProcess]
+    writers: List[ClientProcess]
+    authority: Optional[SignatureAuthority] = None
+
+    def all_processes(self) -> List[Process]:
+        return [*self.servers, *self.readers, *self.writers]
+
+    def install(self, runtime) -> Any:
+        runtime.add_processes(self.all_processes())
+        return runtime
+
+    def server(self, index: int) -> Process:
+        return self.servers[index - 1]
+
+    def reader(self, index: int) -> ClientProcess:
+        return self.readers[index - 1]
+
+    def writer(self, index: int = 1) -> ClientProcess:
+        return self.writers[index - 1]
+
+    def replace_server(self, index: int, process: Process) -> None:
+        """Swap server ``s<index>`` for a (typically Byzantine) stand-in.
+
+        The replacement must keep the same process id so that clients'
+        quorum arithmetic is unaffected.
+        """
+        expected = ids.server(index)
+        if process.pid != expected:
+            raise ConfigurationError(
+                f"replacement for {expected} has wrong pid {process.pid}"
+            )
+        self.servers[index - 1] = process

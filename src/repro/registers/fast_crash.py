@@ -1,0 +1,208 @@
+"""Fast SWMR atomic register for the crash model — Figure 2 of the paper.
+
+Both reads and writes complete in a single communication round-trip,
+which the paper proves possible exactly when ``R < S/t - 2`` (i.e.
+``S > (R + 2) t``).
+
+How it works (Section 4):
+
+* **Write**: the writer increments its timestamp, multicasts the tagged
+  value, and returns after ``S - t`` acknowledgements — it never needs to
+  discover timestamps because it is the only process creating them.
+* **Read**: the reader multicasts its last known ``maxTS`` tag (an
+  in-band write-back) together with a per-reader read counter.  A server
+  receiving any request adopts the carried tag if newer, resets or
+  extends its ``seen`` set — the set of clients it has answered with the
+  current timestamp — and replies with ``(tag, seen, rCounter)``.  The
+  reader collects ``S - t`` acks, computes ``maxTS`` and applies the
+  predicate of :mod:`repro.registers.predicates`: if some ``a`` processes
+  are contained in the ``seen`` sets of at least ``S - a·t`` maxTS acks,
+  the value of ``maxTS`` is safe to return; otherwise the reader returns
+  the *previous* value (``maxTS - 1``), whose write must already have
+  completed.
+
+The ``counter`` array at servers ensures a server never answers a stale
+read message of a reader after answering a newer one (used in case <5>2
+of the Lemma 4 proof).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.registers import messages as msg
+from repro.registers.base import (
+    AckSet,
+    Cluster,
+    ClusterConfig,
+    RegisterClient,
+)
+from repro.registers.predicates import seen_predicate
+from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.sim.ids import ProcessId, client_index
+from repro.sim.process import Context, Process
+from repro.spec.histories import BOTTOM, Operation
+
+PROTOCOL_NAME = "fast-crash"
+
+
+def requirement(config: ClusterConfig) -> Optional[str]:
+    """Feasibility condition ``R < S/t - 2``; ``None`` when satisfied.
+
+    With ``t = 0`` every run has all servers correct and the condition
+    is vacuous.  ``b`` must be zero: Byzantine servers need Figure 5.
+    """
+    if config.b != 0:
+        return "the crash-model protocol tolerates no Byzantine servers (b = 0)"
+    if config.W != 1:
+        return "single-writer protocol (W = 1); Section 7 proves MWMR impossible"
+    if config.t > 0 and config.S <= (config.R + 2) * config.t:
+        return (
+            f"fast reads need R < S/t - 2: got R={config.R}, "
+            f"S={config.S}, t={config.t} (requires S > {(config.R + 2) * config.t})"
+        )
+    return None
+
+
+class FastCrashServer(Process):
+    """Server automaton of Figure 2, lines 23-35."""
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig) -> None:
+        super().__init__(pid)
+        self.config = config
+        self.tag: ValueTag = INITIAL_TAG
+        self.seen: set = set()
+        # counter[i]: newest read counter seen from client index i
+        # (0 = the writer, i = reader r_i), Figure 2 line 25.
+        self.counter: Dict[int, int] = {}
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if not isinstance(payload, (msg.FastRead, msg.FastWrite)):
+            return
+        cidx = client_index(src)
+        if payload.r_counter < self.counter.get(cidx, 0):
+            return  # stale message of an earlier read by this client
+        if payload.tag.ts > self.tag.ts:
+            self.tag = payload.tag
+            self.seen = {src}
+        else:
+            self.seen.add(src)
+        self.counter[cidx] = payload.r_counter
+        ack_type = msg.FastReadAck if isinstance(payload, msg.FastRead) else msg.FastWriteAck
+        ctx.send(
+            src,
+            ack_type(
+                op_id=payload.op_id,
+                tag=self.tag,
+                seen=frozenset(self.seen),
+                r_counter=payload.r_counter,
+            ),
+        )
+
+    def describe_state(self) -> str:
+        seen = ",".join(sorted(str(p) for p in self.seen))
+        return f"FastCrashServer({self.pid}, tag={self.tag}, seen={{{seen}}})"
+
+
+class FastCrashWriter(RegisterClient):
+    """Writer automaton of Figure 2, lines 1-8."""
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig) -> None:
+        super().__init__(pid, config)
+        self.ts = 1  # next timestamp to write
+        self.last_value: Any = BOTTOM
+        self._pending_tag: Optional[ValueTag] = None
+        self._acks: Optional[AckSet] = None
+
+    def on_invoke(self, op: Operation, ctx: Context) -> None:
+        tag = ValueTag(ts=self.ts, value=op.value, prev_value=self.last_value)
+        self._pending_tag = tag
+        self._acks = AckSet(self.config.quorum)
+        request = msg.FastWrite(op_id=op.op_id, tag=tag, r_counter=0)
+        ctx.multicast(self.config.server_ids, request)
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if not self._matches_current(payload):
+            return
+        if not isinstance(payload, msg.FastWriteAck):
+            return
+        assert self._pending_tag is not None and self._acks is not None
+        if payload.tag.ts != self._pending_tag.ts:
+            return  # ack for some other timestamp; cannot happen w/ single writer
+        if self._acks.add(src, payload):
+            self.ts += 1
+            self.last_value = self._pending_tag.value
+            self._pending_tag = None
+            ctx.complete("ok")
+
+
+class FastCrashReader(RegisterClient):
+    """Reader automaton of Figure 2, lines 9-22."""
+
+    def __init__(self, pid: ProcessId, config: ClusterConfig) -> None:
+        super().__init__(pid, config)
+        self.max_tag: ValueTag = INITIAL_TAG
+        self.r_counter = 0
+        self._acks: Optional[AckSet] = None
+
+    def on_invoke(self, op: Operation, ctx: Context) -> None:
+        self.r_counter += 1
+        self._acks = AckSet(self.config.quorum)
+        request = msg.FastRead(
+            op_id=op.op_id, tag=self.max_tag, r_counter=self.r_counter
+        )
+        ctx.multicast(self.config.server_ids, request)
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        if not self._matches_current(payload):
+            return
+        if not isinstance(payload, msg.FastReadAck):
+            return
+        if payload.r_counter != self.r_counter:
+            return
+        assert self._acks is not None
+        if self._acks.add(src, payload):
+            self._decide(ctx)
+
+    def _decide(self, ctx: Context) -> None:
+        """Figure 2 lines 16-22: pick maxTS, apply the predicate."""
+        assert self._acks is not None
+        acks = self._acks.payloads()
+        max_ts = max(ack.tag.ts for ack in acks)
+        max_acks = [ack for ack in acks if ack.tag.ts == max_ts]
+        self.max_tag = max_acks[0].tag
+        ok = seen_predicate(
+            [ack.seen for ack in max_acks],
+            S=self.config.S,
+            t=self.config.t,
+            R=self.config.R,
+            b=0,
+        )
+        if ok:
+            ctx.complete(self.max_tag.value)
+        else:
+            ctx.complete(self.max_tag.prev_value)
+
+
+def build_cluster(config: ClusterConfig, enforce: bool = True) -> Cluster:
+    """Assemble a fast crash-model cluster.
+
+    ``enforce=False`` skips the feasibility check — used deliberately by
+    the Section 5 lower-bound construction, which runs this very
+    protocol *beyond* its threshold to exhibit the atomicity violation.
+    """
+    if enforce:
+        problem = requirement(config)
+        if problem is not None:
+            raise ConfigurationError(problem)
+    servers = [FastCrashServer(pid, config) for pid in config.server_ids]
+    readers = [FastCrashReader(pid, config) for pid in config.reader_ids]
+    writers = [FastCrashWriter(pid, config) for pid in config.writer_ids]
+    return Cluster(
+        config=config,
+        protocol=PROTOCOL_NAME,
+        servers=servers,
+        readers=readers,
+        writers=writers,
+    )

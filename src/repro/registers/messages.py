@@ -1,0 +1,139 @@
+"""Wire formats of the register protocols.
+
+All messages are frozen dataclasses and carry the ``op_id`` of the
+operation that caused them, which lets the trace layer attribute
+messages to operations and the fastness checker count rounds without
+protocol knowledge.
+
+Message families:
+
+* ``FastRead/FastWrite(+Ack)`` — the fast SWMR protocols of Figures 2
+  and 5.  The ``tag`` field holds a :class:`~repro.registers.timestamps.ValueTag`
+  in the crash variant and a
+  :class:`~repro.registers.timestamps.SignedValueTag` in the Byzantine
+  variant; ``seen`` is the server's reader/writer set of Figure 2
+  line 25.
+* ``Query/QueryReply`` and ``Store/StoreAck`` — the generic
+  query/update rounds used by ABD, SWSR, regular and MWMR protocols.
+* ``MaxMinRead/MaxMinGossip/MaxMinReadAck`` — the decentralised
+  max-min read of the introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet
+
+from repro.sim.ids import ProcessId
+
+# ----------------------------------------------------------------------
+# fast SWMR protocols (Figures 2 and 5)
+
+
+@dataclass(frozen=True)
+class FastRead:
+    """Reader -> servers.  ``tag`` is the reader's current ``maxTS``
+    tag, written back in-band (Figure 2 lines 13-14)."""
+
+    op_id: int
+    tag: Any
+    r_counter: int
+
+
+@dataclass(frozen=True)
+class FastWrite:
+    """Writer -> servers.  ``r_counter`` is always 0 at the writer."""
+
+    op_id: int
+    tag: Any
+    r_counter: int = 0
+
+
+@dataclass(frozen=True)
+class FastReadAck:
+    """Server -> reader: current tag, seen set and echoed counter."""
+
+    op_id: int
+    tag: Any
+    seen: FrozenSet[ProcessId]
+    r_counter: int
+
+
+@dataclass(frozen=True)
+class FastWriteAck:
+    """Server -> writer."""
+
+    op_id: int
+    tag: Any
+    seen: FrozenSet[ProcessId]
+    r_counter: int
+
+
+# ----------------------------------------------------------------------
+# generic query/store rounds (ABD, SWSR, regular, MWMR)
+
+
+@dataclass(frozen=True)
+class Query:
+    """Client -> servers: request the current tag."""
+
+    op_id: int
+
+
+@dataclass(frozen=True)
+class QueryReply:
+    """Server -> client: the server's current tag."""
+
+    op_id: int
+    tag: Any
+
+
+@dataclass(frozen=True)
+class Store:
+    """Client -> servers: adopt this tag if newer (write or write-back)."""
+
+    op_id: int
+    tag: Any
+
+
+@dataclass(frozen=True)
+class StoreAck:
+    """Server -> client: acknowledges a Store, echoing its timestamp."""
+
+    op_id: int
+    ts: Any
+
+
+# ----------------------------------------------------------------------
+# decentralised max-min read (introduction)
+
+
+@dataclass(frozen=True)
+class MaxMinRead:
+    """Reader -> servers: triggers the server-to-server round."""
+
+    op_id: int
+    r_counter: int
+
+
+@dataclass(frozen=True)
+class MaxMinGossip:
+    """Server -> servers: the sender's current tag for one read."""
+
+    op_id: int
+    reader: ProcessId
+    r_counter: int
+    tag: Any
+
+
+@dataclass(frozen=True)
+class MaxMinReadAck:
+    """Server -> reader: max tag over the server's gossip pool."""
+
+    op_id: int
+    tag: Any
+    r_counter: int
+
+
+CLIENT_REQUESTS = (FastRead, FastWrite, Query, Store, MaxMinRead)
+SERVER_REPLIES = (FastReadAck, FastWriteAck, QueryReply, StoreAck, MaxMinReadAck)

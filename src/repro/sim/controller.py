@@ -1,0 +1,246 @@
+"""Scripted adversarial execution.
+
+:class:`ScriptedExecution` gives a schedule complete control over message
+delivery, which is exactly the power the paper's lower-bound proofs give
+the adversary: every send first lands in a transit pool; the script then
+delivers chosen envelopes in a chosen order, leaves others in transit
+forever ("skipping a block"), or drops them (a sender that crashed before
+sending).  Virtual time advances by one unit per step so that real-time
+precedence between operations is always well defined.
+
+The same :class:`~repro.sim.process.Process` automata used by the
+free-running :class:`~repro.sim.runtime.Simulation` run here unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ScheduleError, SimulationError
+from repro.sim import trace as tr
+from repro.sim.ids import ProcessId
+from repro.sim.messages import Envelope
+from repro.sim.network import HeldNetwork
+from repro.sim.process import ClientProcess, Context, Process, RuntimeCore
+from repro.spec.histories import History, Operation
+
+
+class ScriptedExecution(RuntimeCore):
+    """A run under full adversarial control of the scheduler."""
+
+    def __init__(self, record_trace: bool = True) -> None:
+        self.trace = tr.TraceLog(enabled=record_trace)
+        self.history = History()
+        self.processes: Dict[ProcessId, Process] = {}
+        self.network = HeldNetwork(deliver=self._dispatch)
+        self._time = 0.0
+        self._step_counter = itertools.count(1)
+        self._current_step = 0
+
+    # ------------------------------------------------------------------
+    # topology
+
+    def add_process(self, process: Process) -> Process:
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self.processes[process.pid] = process
+        return process
+
+    def add_processes(self, processes: Iterable[Process]) -> None:
+        for process in processes:
+            self.add_process(process)
+
+    def process(self, pid: ProcessId) -> Process:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise SimulationError(f"no process {pid} in this execution") from None
+
+    # ------------------------------------------------------------------
+    # RuntimeCore interface
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    def emit(self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int) -> None:
+        if dst not in self.processes:
+            raise SimulationError(f"{src} sent to unknown process {dst}")
+        if self.processes[src].crashed:
+            return
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=self._time)
+        self.trace.record(self._time, tr.SEND, src, step_id, step_id, env)
+        self.network.submit(env)
+
+    def record_response(self, pid: ProcessId, result: Any, step_id: int) -> None:
+        op = self.history.respond(pid, result, self._time)
+        self.trace.record(
+            self._time, tr.RESPONSE, pid, step_id, op_id=op.op_id, detail=result
+        )
+        client = self.processes[pid]
+        if isinstance(client, ClientProcess):
+            client.operation_completed()
+
+    # ------------------------------------------------------------------
+    # schedule actions
+
+    def _tick(self) -> float:
+        self._time += 1.0
+        return self._time
+
+    def invoke(self, pid: ProcessId, kind: str, value: Any = None) -> Operation:
+        """Invoke an operation; its messages land in transit, undelivered."""
+        client = self.process(pid)
+        if not isinstance(client, ClientProcess):
+            raise SimulationError(f"{pid} is not a client")
+        if client.crashed:
+            raise SimulationError(f"{pid} has crashed; cannot invoke")
+        self._tick()
+        op = self.history.invoke(pid, kind, value=value, at=self._time)
+        step_id = next(self._step_counter)
+        self._current_step = step_id
+        self.trace.record(
+            self._time, tr.INVOKE, pid, step_id, op_id=op.op_id, detail=value
+        )
+        client.begin_operation(op, Context(self, pid, step_id))
+        return op
+
+    def deliver(self, env: Envelope) -> None:
+        """Deliver one specific in-transit envelope now."""
+        self.network.release(env)
+
+    def deliver_each(self, envelopes: Iterable[Envelope]) -> int:
+        """Deliver the given envelopes, in order."""
+        return self.network.release_all(list(envelopes))
+
+    def crash(self, pid: ProcessId) -> None:
+        process = self.process(pid)
+        if not process.crashed:
+            self._tick()
+            process.crashed = True
+            self.trace.record(
+                self._time, tr.CRASH, pid, next(self._step_counter)
+            )
+
+    def drop(self, env: Envelope) -> None:
+        self.network.drop(env)
+        self.trace.record(self._time, tr.DROP, env.dst, self._current_step, env=env)
+
+    # ------------------------------------------------------------------
+    # higher-level schedule vocabulary (the proofs' language)
+
+    def in_transit(self, **filters) -> List[Envelope]:
+        return self.network.in_transit(**filters)
+
+    def requests_of(
+        self, op: Operation, to: Optional[Iterable[ProcessId]] = None
+    ) -> List[Envelope]:
+        """In-transit messages of ``op`` from its client to servers.
+
+        ``to`` restricts and *orders* the result: envelopes are returned
+        grouped by the given destination order.
+        """
+        held = self.network.in_transit(src=op.proc, op_id=op.op_id)
+        if to is None:
+            return held
+        ordered: List[Envelope] = []
+        for dst in to:
+            ordered.extend(env for env in held if env.dst == dst)
+        return ordered
+
+    def replies_of(
+        self, op: Operation, from_: Optional[Iterable[ProcessId]] = None
+    ) -> List[Envelope]:
+        """In-transit replies addressed to the invoking client of ``op``."""
+        held = self.network.in_transit(dst=op.proc, op_id=op.op_id)
+        if from_ is None:
+            return held
+        sources = list(from_)
+        ordered: List[Envelope] = []
+        for src in sources:
+            ordered.extend(env for env in held if env.src == src)
+        return ordered
+
+    def deliver_requests(
+        self, op: Operation, to: Iterable[ProcessId]
+    ) -> List[Envelope]:
+        """Deliver ``op``'s client messages to the given processes, in
+        the given order.  Each receiving server replies immediately (for
+        fast protocols) and the reply is parked in transit."""
+        batch = self.requests_of(op, to=to)
+        self.network.release_all(batch)
+        return batch
+
+    def deliver_replies(
+        self, op: Operation, from_: Iterable[ProcessId]
+    ) -> List[Envelope]:
+        """Deliver held replies for ``op`` back to its client, in order."""
+        batch = self.replies_of(op, from_=from_)
+        self.network.release_all(batch)
+        return batch
+
+    def complete_operation(
+        self,
+        op: Operation,
+        via: Iterable[ProcessId],
+        max_rounds: int = 8,
+    ) -> Operation:
+        """Run ``op`` to completion using only the processes in ``via``.
+
+        Repeatedly delivers the client's outgoing messages to ``via`` and
+        their replies back, which handles both one-round protocols and
+        multi-round protocols (each iteration is one communication
+        round-trip).  Messages to processes outside ``via`` stay in
+        transit — the operation *skips* them.
+        """
+        allowed = list(via)
+        for _ in range(max_rounds):
+            if op.complete:
+                return op
+            sent = self.deliver_requests(op, to=allowed)
+            replies = self.deliver_replies(op, from_=allowed)
+            if op.complete:
+                return op
+            if not sent and not replies:
+                raise ScheduleError(
+                    f"operation {op.op_id} by {op.proc} cannot make progress "
+                    f"via {', '.join(str(p) for p in allowed)}"
+                )
+        raise ScheduleError(
+            f"operation {op.op_id} still incomplete after {max_rounds} rounds"
+        )
+
+    def run_to_quiescence(self, max_steps: int = 100_000) -> int:
+        """Deliver everything in transit until the pool drains."""
+        steps = 0
+        while self.network.transit:
+            env = self.network.transit[0]
+            self.network.release(env)
+            steps += 1
+            if steps >= max_steps:
+                raise ScheduleError("transit pool not draining; protocol loop?")
+        return steps
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch(self, env: Envelope) -> None:
+        receiver = self.processes.get(env.dst)
+        if receiver is None:
+            raise SimulationError(f"delivery to unknown process {env.dst}")
+        self._tick()
+        if receiver.crashed:
+            self.trace.record(self._time, tr.DROP, env.dst, self._current_step, env=env)
+            return
+        step_id = next(self._step_counter)
+        self._current_step = step_id
+        self.trace.record(
+            self._time,
+            tr.DELIVER,
+            env.dst,
+            step_id,
+            cause_step=self.trace.send_step_of(env),
+            env=env,
+        )
+        receiver.on_message(env.payload, env.src, Context(self, env.dst, step_id))

@@ -1,0 +1,135 @@
+"""Virtual-time event queue.
+
+A minimal, deterministic discrete-event core: events are ``(time, seq)``
+ordered, where ``seq`` is an insertion counter that breaks ties, so two
+runs with identical inputs pop events in identical order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled occurrence at a virtual instant.
+
+    Ordering is by ``(time, seq)``; ``action`` and ``tag`` do not
+    participate in comparisons.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Insert an event; returns it so the caller may cancel it."""
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, seq=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Mark an event cancelled; it will be skipped when popped."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def drain(self) -> List[Event]:
+        """Remove and return all remaining live events in order."""
+        out = []
+        while True:
+            event = self.pop()
+            if event is None:
+                return out
+            out.append(event)
+
+
+class VirtualClock:
+    """Monotonic virtual clock advanced only by the runtime."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"clock may not move backwards: at {self._now}, asked for {time}"
+            )
+        self._now = time
+
+
+def run_until_quiet(
+    queue: EventQueue,
+    clock: VirtualClock,
+    max_events: int = 1_000_000,
+    deadline: Optional[float] = None,
+) -> int:
+    """Pop-and-run events until the queue empties, a deadline passes, or
+    the event budget is exhausted.  Returns the number of events run.
+
+    The budget guards against protocol bugs that flood the network; a
+    correct register workload quiesces once all operations complete.
+    """
+    executed = 0
+    while queue:
+        next_time = queue.peek_time()
+        if next_time is None:
+            break
+        if deadline is not None and next_time > deadline:
+            break
+        event = queue.pop()
+        assert event is not None
+        clock.advance_to(event.time)
+        event.action()
+        executed += 1
+        if executed >= max_events:
+            raise RuntimeError(
+                f"event budget of {max_events} exhausted; "
+                "the simulation is likely not quiescing"
+            )
+    return executed

@@ -1,0 +1,113 @@
+"""Process identities.
+
+The paper's system is made of three disjoint process sets: ``servers``
+(``s1..sS``), a single ``writer`` (``w``; generalised to ``w1..wW`` for
+the multi-writer Section 7), and ``readers`` (``r1..rR``).  A
+:class:`ProcessId` names one process; the module also provides the
+``pid`` index function used by Figure 2 (``pid(w) = 0``, ``pid(ri) = i``)
+and helpers that build whole process sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple
+
+SERVER = "server"
+READER = "reader"
+WRITER = "writer"
+
+_KINDS = (SERVER, READER, WRITER)
+_PREFIX = {SERVER: "s", READER: "r", WRITER: "w"}
+
+
+class ProcessId(NamedTuple):
+    """Identity of one process: a role and a 1-based index within it.
+
+    ``ProcessId`` is a named tuple so it is hashable, totally ordered and
+    usable as a dictionary key in server-side bookkeeping (for instance
+    the ``seen`` sets of Figure 2).
+    """
+
+    kind: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{_PREFIX[self.kind]}{self.index}"
+
+    @property
+    def is_server(self) -> bool:
+        return self.kind == SERVER
+
+    @property
+    def is_reader(self) -> bool:
+        return self.kind == READER
+
+    @property
+    def is_writer(self) -> bool:
+        return self.kind == WRITER
+
+    @property
+    def is_client(self) -> bool:
+        """Readers and writers are clients of the register service."""
+        return self.kind in (READER, WRITER)
+
+
+def server(index: int) -> ProcessId:
+    """Return the id of server ``s<index>`` (1-based)."""
+    _check_index(index)
+    return ProcessId(SERVER, index)
+
+
+def reader(index: int) -> ProcessId:
+    """Return the id of reader ``r<index>`` (1-based)."""
+    _check_index(index)
+    return ProcessId(READER, index)
+
+
+def writer(index: int = 1) -> ProcessId:
+    """Return the id of writer ``w<index>``.
+
+    The single-writer protocols always use ``writer()`` (= ``w1``); the
+    multi-writer machinery of Section 7 uses ``writer(1)``, ``writer(2)``.
+    """
+    _check_index(index)
+    return ProcessId(WRITER, index)
+
+
+def servers(count: int) -> List[ProcessId]:
+    """Return ``[s1, ..., s<count>]``."""
+    return [server(i) for i in range(1, count + 1)]
+
+
+def readers(count: int) -> List[ProcessId]:
+    """Return ``[r1, ..., r<count>]``."""
+    return [reader(i) for i in range(1, count + 1)]
+
+
+def writers(count: int) -> List[ProcessId]:
+    """Return ``[w1, ..., w<count>]``."""
+    return [writer(i) for i in range(1, count + 1)]
+
+
+def client_index(pid: ProcessId) -> int:
+    """The ``pid(q)`` function of Figure 2.
+
+    Maps the writer to ``0`` and reader ``ri`` to ``i``.  Servers have no
+    client index; passing one is a programming error.
+    """
+    if pid.is_writer:
+        return 0
+    if pid.is_reader:
+        return pid.index
+    raise ValueError(f"{pid} is a server; servers have no client index")
+
+
+def sort_ids(ids: Iterable[ProcessId]) -> List[ProcessId]:
+    """Deterministically order ids: writers, then readers, then servers."""
+    rank = {WRITER: 0, READER: 1, SERVER: 2}
+    return sorted(ids, key=lambda p: (rank[p.kind], p.index))
+
+
+def _check_index(index: int) -> None:
+    if not isinstance(index, int) or index < 1:
+        raise ValueError(f"process indices are 1-based integers, got {index!r}")

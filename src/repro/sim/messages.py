@@ -1,0 +1,57 @@
+"""Message envelopes.
+
+The network layer moves :class:`Envelope` objects: an immutable record of
+sender, receiver, payload and the send instant.  Payloads are
+protocol-defined frozen dataclasses (see :mod:`repro.registers.messages`);
+the simulation kernel never inspects them beyond an optional ``op_id``
+attribute used for tracing and round counting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.ids import ProcessId
+
+_envelope_counter = itertools.count(1)
+
+
+def _next_envelope_id() -> int:
+    return next(_envelope_counter)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One message in flight.
+
+    Attributes:
+        src: sender process id.
+        dst: receiver process id.
+        payload: protocol message (opaque to the kernel).
+        send_time: virtual time at which the send step happened.
+        env_id: globally unique id; also provides a stable tiebreak so
+            that runs are deterministic for a fixed seed and schedule.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    send_time: float = 0.0
+    env_id: int = field(default_factory=_next_envelope_id)
+
+    @property
+    def op_id(self) -> Optional[int]:
+        """Operation id carried by the payload, if any.
+
+        All register-protocol messages carry the id of the operation that
+        caused them, which lets the trace analyser attribute messages to
+        operations without understanding protocol internals.
+        """
+        return getattr(self.payload, "op_id", None)
+
+    def describe(self) -> str:
+        """Short human-readable rendering used by traces and diagrams."""
+        name = type(self.payload).__name__
+        return f"#{self.env_id} {self.src}->{self.dst} {name}"

@@ -1,0 +1,234 @@
+"""Free-running simulation runtime.
+
+:class:`Simulation` wires processes, the event queue, a latency-sampling
+network, the trace log and the operation history together.  It is the
+mode used by workloads, fuzz tests and benchmarks; the adversarial
+counterpart is :class:`repro.sim.controller.ScriptedExecution`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim import trace as tr
+from repro.sim.events import EventQueue, VirtualClock, run_until_quiet
+from repro.sim.ids import ProcessId
+from repro.sim.latency import LatencyModel
+from repro.sim.messages import Envelope
+from repro.sim.network import SimNetwork
+from repro.sim.process import ClientProcess, Context, Process, RuntimeCore
+from repro.sim.rng import substream
+from repro.spec.histories import History, Operation
+
+
+class Simulation(RuntimeCore):
+    """Discrete-event simulation of a process system.
+
+    Args:
+        seed: root seed; all randomness (latency draws) derives from it.
+        latency: latency model for the network; default constant 1.0.
+        fifo: enforce per-link FIFO delivery (the model does not require
+            it; some tests enable it for determinism of content).
+        record_trace: disable to save memory in large benchmarks.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        fifo: bool = False,
+        record_trace: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.clock = VirtualClock()
+        self.queue = EventQueue()
+        self.trace = tr.TraceLog(enabled=record_trace)
+        self.history = History()
+        self.processes: Dict[ProcessId, Process] = {}
+        self._step_counter = itertools.count(1)
+        self._current_step = 0
+        self._on_response: List[Callable[[Operation], None]] = []
+        self._crash_after_sends: Dict[ProcessId, int] = {}
+        self.network = SimNetwork(
+            queue=self.queue,
+            clock=self.clock,
+            deliver=self._dispatch,
+            latency=latency,
+            rng=substream(seed, "latency"),
+            fifo=fifo,
+            on_drop=self._record_drop,
+        )
+
+    # ------------------------------------------------------------------
+    # topology
+
+    def add_process(self, process: Process) -> Process:
+        if process.pid in self.processes:
+            raise SimulationError(f"duplicate process id {process.pid}")
+        self.processes[process.pid] = process
+        return process
+
+    def add_processes(self, processes: Iterable[Process]) -> None:
+        for process in processes:
+            self.add_process(process)
+
+    def process(self, pid: ProcessId) -> Process:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise SimulationError(f"no process {pid} in this simulation") from None
+
+    # ------------------------------------------------------------------
+    # RuntimeCore interface
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def emit(self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int) -> None:
+        if dst not in self.processes:
+            raise SimulationError(f"{src} sent to unknown process {dst}")
+        sender = self.processes[src]
+        if sender.crashed:
+            return  # a crashed process sends nothing
+        env = Envelope(src=src, dst=dst, payload=payload, send_time=self.now)
+        budget = self._crash_after_sends.get(src)
+        if budget is not None:
+            if budget <= 0:
+                self._crash_now(src, step_id)
+                self._record_drop(env)
+                return
+            self._crash_after_sends[src] = budget - 1
+            if budget - 1 == 0:
+                # message goes out, then the sender halts
+                self.trace.record(self.now, tr.SEND, src, step_id, step_id, env)
+                self.network.submit(env)
+                self._crash_now(src, step_id)
+                return
+        self.trace.record(self.now, tr.SEND, src, step_id, step_id, env)
+        self.network.submit(env)
+
+    def record_response(self, pid: ProcessId, result: Any, step_id: int) -> None:
+        op = self.history.respond(pid, result, self.now)
+        self.trace.record(
+            self.now, tr.RESPONSE, pid, step_id, op_id=op.op_id, detail=result
+        )
+        client = self.processes[pid]
+        if isinstance(client, ClientProcess):
+            client.operation_completed()
+        for callback in self._on_response:
+            callback(op)
+
+    # ------------------------------------------------------------------
+    # invocations
+
+    def invoke(self, pid: ProcessId, kind: str, value: Any = None) -> Operation:
+        """Invoke an operation on a client immediately (at current time)."""
+        client = self.process(pid)
+        if not isinstance(client, ClientProcess):
+            raise SimulationError(f"{pid} is not a client; cannot invoke {kind}")
+        if client.crashed:
+            raise SimulationError(f"{pid} has crashed; cannot invoke {kind}")
+        op = self.history.invoke(pid, kind, value=value, at=self.now)
+        step_id = next(self._step_counter)
+        self._current_step = step_id
+        self.trace.record(
+            self.now, tr.INVOKE, pid, step_id, op_id=op.op_id, detail=value
+        )
+        client.begin_operation(op, Context(self, pid, step_id))
+        return op
+
+    def invoke_at(
+        self, time: float, pid: ProcessId, kind: str, value: Any = None
+    ) -> None:
+        """Schedule an invocation for a future instant."""
+        self.queue.schedule(time, lambda: self.invoke(pid, kind, value), tag="invoke")
+
+    def on_response(self, callback: Callable[[Operation], None]) -> None:
+        """Register a hook fired after every operation response."""
+        self._on_response.append(callback)
+
+    def at(self, time: float, action: Callable[[], None], tag: str = "user") -> None:
+        """Schedule an arbitrary action (workload drivers use this)."""
+        self.queue.schedule(time, action, tag=tag)
+
+    # ------------------------------------------------------------------
+    # faults
+
+    def crash(self, pid: ProcessId) -> None:
+        """Crash a process immediately."""
+        self._crash_now(pid, step_id=next(self._step_counter))
+
+    def crash_at(self, time: float, pid: ProcessId) -> None:
+        self.queue.schedule(time, lambda: self.crash(pid), tag=f"crash:{pid}")
+
+    def crash_after_sends(self, pid: ProcessId, sends: int) -> None:
+        """Let ``pid`` send ``sends`` more messages, then crash it.
+
+        This realises the paper's caveat that "while sending messages to
+        a set of processes, the sending process may crash after sending
+        messages to an arbitrary subset".
+        """
+        if sends < 0:
+            raise SimulationError("send budget must be non-negative")
+        self._crash_after_sends[pid] = sends
+
+    def _crash_now(self, pid: ProcessId, step_id: int) -> None:
+        process = self.process(pid)
+        if process.crashed:
+            return
+        process.crashed = True
+        self.trace.record(self.now, tr.CRASH, pid, step_id)
+
+    def _record_drop(self, env: Envelope) -> None:
+        self.trace.record(self.now, tr.DROP, env.src, self._current_step, env=env)
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _dispatch(self, env: Envelope) -> None:
+        receiver = self.processes.get(env.dst)
+        if receiver is None:
+            raise SimulationError(f"delivery to unknown process {env.dst}")
+        if receiver.crashed:
+            self.trace.record(
+                self.now, tr.DROP, env.dst, self._current_step, env=env
+            )
+            return
+        step_id = next(self._step_counter)
+        self._current_step = step_id
+        self.trace.record(
+            self.now,
+            tr.DELIVER,
+            env.dst,
+            step_id,
+            cause_step=self.trace.send_step_of(env),
+            env=env,
+        )
+        receiver.on_message(env.payload, env.src, Context(self, env.dst, step_id))
+
+    def run(
+        self, max_events: int = 1_000_000, deadline: Optional[float] = None
+    ) -> int:
+        """Run until quiescence (or deadline/budget); returns event count."""
+        return run_until_quiet(self.queue, self.clock, max_events, deadline)
+
+    def run_until(
+        self, condition: Callable[[], bool], max_events: int = 1_000_000
+    ) -> None:
+        """Run events one at a time until ``condition()`` becomes true."""
+        executed = 0
+        while not condition():
+            event = self.queue.pop()
+            if event is None:
+                raise SimulationError(
+                    "simulation quiesced before the awaited condition held"
+                )
+            self.clock.advance_to(event.time)
+            event.action()
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError("event budget exhausted in run_until")

@@ -1,0 +1,54 @@
+"""Specification layer: histories and correctness checkers.
+
+Everything here judges runs purely from their externally visible
+behaviour (operation histories and message traces), independent of any
+protocol's internal bookkeeping.
+"""
+
+from repro.spec.atomicity import check_swmr_atomicity, check_termination
+from repro.spec.fastness import (
+    OpTiming,
+    analyze_operation,
+    check_all_fast,
+    client_rounds,
+    rounds_histogram,
+    server_replies_immediate,
+)
+from repro.spec.histories import (
+    BOTTOM,
+    READ,
+    WRITE,
+    History,
+    Operation,
+    Verdict,
+    value_written_by,
+)
+from repro.spec.linearizability import (
+    check_linearizable,
+    check_mwmr_p1_p2,
+    find_linearization,
+)
+from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
+
+__all__ = [
+    "BOTTOM",
+    "History",
+    "OpTiming",
+    "Operation",
+    "READ",
+    "Verdict",
+    "WRITE",
+    "analyze_operation",
+    "check_all_fast",
+    "check_linearizable",
+    "check_mwmr_p1_p2",
+    "check_swmr_atomicity",
+    "check_swmr_regularity",
+    "check_termination",
+    "client_rounds",
+    "count_new_old_inversions",
+    "find_linearization",
+    "rounds_histogram",
+    "server_replies_immediate",
+    "value_written_by",
+]

@@ -1,0 +1,143 @@
+"""Fastness analysis (Section 3.2).
+
+The paper calls an operation *fast* when it completes in one
+communication round-trip:
+
+1. the invoking client sends messages once, at invocation;
+2. a process receiving such a message replies without receiving any
+   other message in between;
+3. the client returns upon collecting sufficiently many replies.
+
+This module derives both facts from the execution trace alone, so the
+claim "every read is fast" is verified against what the protocol actually
+did rather than what its author intended.  Client *rounds* are counted as
+the number of distinct steps in which the client sent messages for the
+operation: ABD reads show 2 (query + write-back), the Figure 2/5
+protocols show 1.  Server immediacy is checked by scanning for deliveries
+to the server between its receipt of the client's message and its reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.ids import ProcessId
+from repro.sim.trace import DELIVER, SEND, TraceLog
+from repro.spec.histories import History, Operation, Verdict
+
+
+@dataclass(frozen=True)
+class OpTiming:
+    """Communication-shape summary of one operation."""
+
+    op_id: int
+    client_rounds: int
+    messages_sent: int
+    servers_replied: int
+    immediate_replies: bool
+
+    @property
+    def is_fast(self) -> bool:
+        """One client round and every replier answered immediately."""
+        return self.client_rounds == 1 and self.immediate_replies
+
+
+def client_rounds(trace: TraceLog, op: Operation) -> int:
+    """Number of distinct send-steps by the invoking client for ``op``."""
+    steps = {
+        event.step_id
+        for event in trace.sends_by(op.proc, op_id=op.op_id)
+    }
+    return len(steps)
+
+
+def server_replies_immediate(trace: TraceLog, op: Operation) -> bool:
+    """Check condition (2) of Section 3.2 for every replying process.
+
+    For each process ``p`` (other than the client) that sent a message of
+    this operation back to the client, find the delivery to ``p`` of the
+    client's message and verify ``p`` received nothing between that
+    delivery and its reply.
+    """
+    events = trace.for_op(op.op_id)
+    # All deliveries and sends in trace order, per process.
+    for event in events:
+        if event.kind != SEND or event.pid == op.proc or event.env is None:
+            continue
+        if event.env.dst != op.proc:
+            continue  # server-to-server chatter; handled via the request rule
+        replier = event.pid
+        # Find the delivery to `replier` of a message from the client.
+        request_seq: Optional[int] = None
+        for earlier in trace.events:
+            if earlier.seq >= event.seq:
+                break
+            if (
+                earlier.kind == DELIVER
+                and earlier.pid == replier
+                and earlier.env is not None
+                and earlier.env.src == op.proc
+                and earlier.op_id == op.op_id
+            ):
+                request_seq = earlier.seq
+        if request_seq is None:
+            return False  # replied without receiving the client's message
+        for mid in trace.events:
+            if mid.seq <= request_seq:
+                continue
+            if mid.seq >= event.seq:
+                break
+            if mid.kind == DELIVER and mid.pid == replier:
+                return False  # received another message before replying
+    return True
+
+
+def analyze_operation(trace: TraceLog, op: Operation) -> OpTiming:
+    sends = trace.sends_by(op.proc, op_id=op.op_id)
+    repliers = {
+        event.pid
+        for event in trace.for_op(op.op_id)
+        if event.kind == SEND and event.pid != op.proc and event.env is not None
+        and event.env.dst == op.proc
+    }
+    return OpTiming(
+        op_id=op.op_id,
+        client_rounds=client_rounds(trace, op),
+        messages_sent=trace.message_count(op_id=op.op_id),
+        servers_replied=len(repliers),
+        immediate_replies=server_replies_immediate(trace, op),
+    )
+
+
+def check_all_fast(
+    trace: TraceLog,
+    history: History,
+    kinds: Tuple[str, ...] = ("read", "write"),
+) -> Verdict:
+    """Verdict that every complete operation of the given kinds was fast."""
+    slow: List[int] = []
+    for op in history.complete_operations:
+        if op.kind not in kinds:
+            continue
+        timing = analyze_operation(trace, op)
+        if not timing.is_fast:
+            slow.append(op.op_id)
+    if slow:
+        return Verdict(
+            ok=False,
+            property_name="fast implementation (Section 3.2)",
+            reason="operations took more than one communication round-trip",
+            culprits=tuple(slow),
+        )
+    return Verdict(ok=True, property_name="fast implementation (Section 3.2)")
+
+
+def rounds_histogram(trace: TraceLog, history: History) -> Dict[str, Dict[int, int]]:
+    """Distribution of client rounds per operation kind (for benches)."""
+    out: Dict[str, Dict[int, int]] = {}
+    for op in history.complete_operations:
+        rounds = client_rounds(trace, op)
+        out.setdefault(op.kind, {}).setdefault(rounds, 0)
+        out[op.kind][rounds] += 1
+    return out

@@ -1,0 +1,209 @@
+"""Operation histories.
+
+A history is the externally visible behaviour of a run: the sequence of
+operation invocations and responses, with their values and times.  All
+correctness judgements (atomicity, regularity, linearizability) are
+functions of the history alone, per Section 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SpecificationError
+from repro.sim.ids import ProcessId
+
+READ = "read"
+WRITE = "write"
+
+#: The register's initial value, the paper's ``⊥``.  It is not a valid
+#: input to a write.
+BOTTOM = "⊥"
+
+
+@dataclass
+class Operation:
+    """One read or write operation.
+
+    ``value`` is the written value for writes and ``None`` for reads;
+    ``result`` is the returned value for reads and ``"ok"`` for writes
+    once complete.  ``responded_at`` is ``None`` while the operation is
+    pending (an *incomplete* operation in the paper's terminology).
+    """
+
+    op_id: int
+    proc: ProcessId
+    kind: str
+    invoked_at: float
+    value: Any = None
+    result: Any = None
+    responded_at: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.responded_at is not None
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time precedence: my response before your invocation."""
+        return self.complete and self.responded_at < other.invoked_at
+
+    def concurrent_with(self, other: "Operation") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+    def describe(self) -> str:
+        if self.is_write:
+            span = f"[{self.invoked_at:.3f}, " + (
+                f"{self.responded_at:.3f}]" if self.complete else "...)"
+            )
+            return f"write({self.value!r}) by {self.proc} {span}"
+        span = f"[{self.invoked_at:.3f}, " + (
+            f"{self.responded_at:.3f}]" if self.complete else "...)"
+        )
+        result = f" -> {self.result!r}" if self.complete else ""
+        return f"read() by {self.proc} {span}{result}"
+
+
+class History:
+    """A mutable log of operations, recorded by the runtimes.
+
+    Operations are stored in invocation order.  The class enforces the
+    well-formedness assumptions of the model: one pending operation per
+    process, responses only for pending operations.
+    """
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+        self._by_id: Dict[int, Operation] = {}
+        self._pending: Dict[ProcessId, Operation] = {}
+        self._op_counter = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def invoke(
+        self, proc: ProcessId, kind: str, value: Any = None, at: float = 0.0
+    ) -> Operation:
+        if kind not in (READ, WRITE):
+            raise SpecificationError(f"unknown operation kind {kind!r}")
+        if kind == WRITE and value == BOTTOM:
+            raise SpecificationError("⊥ is not a valid input value for a write")
+        if proc in self._pending:
+            raise SpecificationError(
+                f"{proc} already has pending operation "
+                f"{self._pending[proc].op_id}; the model allows one at a time"
+            )
+        op = Operation(
+            op_id=next(self._op_counter),
+            proc=proc,
+            kind=kind,
+            value=value,
+            invoked_at=at,
+        )
+        self.operations.append(op)
+        self._by_id[op.op_id] = op
+        self._pending[proc] = op
+        return op
+
+    def respond(self, proc: ProcessId, result: Any, at: float) -> Operation:
+        op = self._pending.pop(proc, None)
+        if op is None:
+            raise SpecificationError(f"{proc} has no pending operation to complete")
+        if at < op.invoked_at:
+            raise SpecificationError(
+                f"response at {at} precedes invocation at {op.invoked_at}"
+            )
+        op.result = result
+        op.responded_at = at
+        return op
+
+    def pending_of(self, proc: ProcessId) -> Optional[Operation]:
+        return self._pending.get(proc)
+
+    def get(self, op_id: int) -> Operation:
+        return self._by_id[op_id]
+
+    # ------------------------------------------------------------------
+    # views
+
+    @property
+    def reads(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_read]
+
+    @property
+    def writes(self) -> List[Operation]:
+        return [op for op in self.operations if op.is_write]
+
+    @property
+    def complete_operations(self) -> List[Operation]:
+        return [op for op in self.operations if op.complete]
+
+    @property
+    def incomplete_operations(self) -> List[Operation]:
+        return [op for op in self.operations if not op.complete]
+
+    def writes_in_order(self) -> List[Operation]:
+        """Writes in invocation order.
+
+        In the single-writer model writes are totally ordered by real
+        time (the writer has one operation pending at a time), so
+        invocation order is *the* write order ``wr_1, wr_2, ...`` of
+        Section 3.1.
+        """
+        return self.writes
+
+    def single_writer(self) -> bool:
+        writers = {op.proc for op in self.writes}
+        return len(writers) <= 1
+
+    def describe(self) -> str:
+        return "\n".join(op.describe() for op in self.operations)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of a specification check.
+
+    ``ok`` is True when the property holds.  On violation, ``reason``
+    explains which condition failed and ``culprits`` lists the operation
+    ids involved, so examples and tests can point at the precise reads.
+    """
+
+    ok: bool
+    property_name: str
+    reason: str = ""
+    culprits: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else "VIOLATION"
+        text = f"{self.property_name}: {status}"
+        if not self.ok:
+            text += f" — {self.reason}"
+            if self.culprits:
+                text += f" (operations {list(self.culprits)})"
+        return text
+
+
+def value_written_by(history: History, k: int) -> Any:
+    """``val_k`` of Section 3.1: value of the k-th write, ``⊥`` for k=0."""
+    if k == 0:
+        return BOTTOM
+    writes = history.writes_in_order()
+    if k < 1 or k > len(writes):
+        raise SpecificationError(f"history has no {k}-th write")
+    return writes[k - 1].value

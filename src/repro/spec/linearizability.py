@@ -1,0 +1,207 @@
+"""General linearizability checker for read/write registers.
+
+A Wing & Gong style search specialised to a single register: find a total
+order of operations that (a) respects real-time precedence, (b) has every
+read return the latest written value (``⊥`` initially), and (c) includes
+every complete operation, while incomplete operations may be included or
+dropped.
+
+This checker is protocol- and writer-count-agnostic; it cross-validates
+the specialised SWMR checker in property tests and judges the MWMR
+histories of Section 7.  The search is exponential in the worst case
+(linearizability checking is NP-hard in general), but memoisation over
+``(linearized-set, register-value)`` states keeps the histories produced
+by tests and constructions fast to check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.spec.histories import BOTTOM, History, Operation, Verdict
+
+PROPERTY = "linearizability (read/write register)"
+
+
+def check_linearizable(
+    history: History, max_states: int = 2_000_000
+) -> Verdict:
+    """Decide linearizability of a register history.
+
+    Args:
+        history: the recorded run.
+        max_states: exploration budget; exceeding it raises rather than
+            returning a wrong verdict.
+    """
+    ops = list(history.operations)
+    complete_ops = [op for op in ops if op.complete]
+    pending_writes = [op for op in ops if not op.complete and op.is_write]
+    # Incomplete reads never constrain linearizability: they may always
+    # be dropped from the completed history.  Incomplete writes may need
+    # to take effect, so they stay in the candidate pool.
+    pool: List[Operation] = complete_ops + pending_writes
+    pool.sort(key=lambda op: (op.invoked_at, op.op_id))
+
+    must_linearize: FrozenSet[int] = frozenset(op.op_id for op in complete_ops)
+    index_of = {op.op_id: i for i, op in enumerate(pool)}
+
+    # Precompute precedence between pool operations: op a blocks op b if
+    # a precedes b in real time (a must be linearized before b may be).
+    preceders: List[List[int]] = [[] for _ in pool]
+    for i, a in enumerate(pool):
+        for j, b in enumerate(pool):
+            if i != j and a.precedes(b):
+                preceders[j].append(i)
+
+    seen_states: Set[Tuple[FrozenSet[int], Any]] = set()
+    states_visited = 0
+    witness: List[int] = []
+
+    def dfs(linearized: FrozenSet[int], value: Any) -> bool:
+        nonlocal states_visited
+        if must_linearize <= linearized:
+            return True
+        state = (linearized, value)
+        if state in seen_states:
+            return False
+        seen_states.add(state)
+        states_visited += 1
+        if states_visited > max_states:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_states} states; "
+                "the history is too adversarial for this checker"
+            )
+        for j, op in enumerate(pool):
+            if op.op_id in linearized:
+                continue
+            if any(pool[i].op_id not in linearized for i in preceders[j]):
+                continue  # a predecessor is still unlinearized
+            if op.is_read:
+                if not op.complete:
+                    continue  # dropped; never linearized
+                if op.result != value:
+                    continue
+                next_value = value
+            else:
+                next_value = op.value
+            witness.append(op.op_id)
+            if dfs(linearized | {op.op_id}, next_value):
+                return True
+            witness.pop()
+        return False
+
+    if dfs(frozenset(), BOTTOM):
+        return Verdict(ok=True, property_name=PROPERTY)
+    return Verdict(
+        ok=False,
+        property_name=PROPERTY,
+        reason=(
+            "no linearization exists: every real-time-respecting total order "
+            "makes some read return a value other than the latest write"
+        ),
+        culprits=tuple(sorted(must_linearize)),
+    )
+
+
+def find_linearization(history: History) -> Optional[List[int]]:
+    """Return a witness linearization (operation ids) or ``None``.
+
+    Same search as :func:`check_linearizable`, but exposes the order for
+    examples and debugging.
+    """
+    ops = list(history.operations)
+    complete_ops = [op for op in ops if op.complete]
+    pending_writes = [op for op in ops if not op.complete and op.is_write]
+    pool = sorted(
+        complete_ops + pending_writes, key=lambda op: (op.invoked_at, op.op_id)
+    )
+    must = frozenset(op.op_id for op in complete_ops)
+
+    preceders: List[List[int]] = [[] for _ in pool]
+    for i, a in enumerate(pool):
+        for j, b in enumerate(pool):
+            if i != j and a.precedes(b):
+                preceders[j].append(i)
+
+    seen: Set[Tuple[FrozenSet[int], Any]] = set()
+
+    def dfs(linearized: FrozenSet[int], value: Any, acc: List[int]) -> Optional[List[int]]:
+        if must <= linearized:
+            return list(acc)
+        state = (linearized, value)
+        if state in seen:
+            return None
+        seen.add(state)
+        for j, op in enumerate(pool):
+            if op.op_id in linearized:
+                continue
+            if any(pool[i].op_id not in linearized for i in preceders[j]):
+                continue
+            if op.is_read:
+                if not op.complete or op.result != value:
+                    continue
+                next_value = value
+            else:
+                next_value = op.value
+            acc.append(op.op_id)
+            found = dfs(linearized | {op.op_id}, next_value, acc)
+            if found is not None:
+                return found
+            acc.pop()
+        return None
+
+    return dfs(frozenset(), BOTTOM, [])
+
+
+def check_mwmr_p1_p2(history: History) -> Verdict:
+    """The two derived MWMR properties used by Proposition 11.
+
+    * **P1** — if a write ``wr`` of ``v`` precedes a read ``rd`` and all
+      other writes precede ``wr``, then ``rd`` (if it returns) returns
+      ``v``.
+    * **P2** — if all writes precede two reads, the reads do not return
+      different values.
+
+    These are weaker than linearizability, which is exactly why the
+    impossibility argument only needs them; checking them directly gives
+    much clearer failure messages for the Section 7 construction.
+    """
+    writes = history.writes
+    reads = [op for op in history.reads if op.complete]
+
+    # P1: find a write preceded by all other writes.
+    for wr in writes:
+        if not wr.complete:
+            continue
+        others = [other for other in writes if other is not wr]
+        if not all(other.precedes(wr) for other in others):
+            continue
+        for rd in reads:
+            if wr.precedes(rd) and rd.result != wr.value:
+                return Verdict(
+                    ok=False,
+                    property_name="MWMR property P1",
+                    reason=(
+                        f"last write wrote {wr.value!r} before the read, "
+                        f"but the read returned {rd.result!r}"
+                    ),
+                    culprits=(wr.op_id, rd.op_id),
+                )
+
+    # P2: reads that every write precedes must agree.
+    after_all = [
+        rd
+        for rd in reads
+        if all(wr.precedes(rd) for wr in writes if wr.complete)
+        and all(not wr.concurrent_with(rd) for wr in writes)
+    ]
+    results = {rd.result for rd in after_all}
+    if len(results) > 1:
+        culprits = tuple(rd.op_id for rd in after_all)
+        return Verdict(
+            ok=False,
+            property_name="MWMR property P2",
+            reason=f"reads after all writes returned different values {results}",
+            culprits=culprits,
+        )
+    return Verdict(ok=True, property_name="MWMR properties P1+P2")

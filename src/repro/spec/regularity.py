@@ -1,0 +1,94 @@
+"""SWMR regularity checker (Section 8's weaker register).
+
+A *regular* register [Lamport 1986] guarantees that a read returns either
+the value of the last write that precedes it or the value of some write
+concurrent with it — but, unlike an atomic register, two reads may
+observe new-then-old values ("new/old inversion").
+
+The module also counts new/old inversions, which is how experiment E6
+quantifies the consistency price Section 8 describes when choosing the
+fast regular register over the fast atomic one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.errors import SpecificationError
+from repro.spec.histories import BOTTOM, History, Operation, Verdict
+
+PROPERTY = "SWMR regularity"
+
+
+def _allowed_results(rd: Operation, writes: List[Operation]) -> Set:
+    """Values a regular read may return: last preceding write's value
+    (or ⊥ when none), plus the value of every concurrent write."""
+    allowed = set()
+    last_preceding = None
+    for k, wr in enumerate(writes):
+        if wr.precedes(rd):
+            last_preceding = k
+    if last_preceding is None:
+        allowed.add(BOTTOM)
+    else:
+        allowed.add(writes[last_preceding].value)
+    for wr in writes:
+        if wr.concurrent_with(rd):
+            allowed.add(wr.value)
+    return allowed
+
+
+def check_swmr_regularity(history: History) -> Verdict:
+    """Every complete read returns an allowed value."""
+    if not history.single_writer():
+        raise SpecificationError("regularity checker expects a single writer")
+    writes = history.writes_in_order()
+    for rd in history.reads:
+        if not rd.complete:
+            continue
+        allowed = _allowed_results(rd, writes)
+        if rd.result not in allowed:
+            return Verdict(
+                ok=False,
+                property_name=PROPERTY,
+                reason=(
+                    f"read returned {rd.result!r}; regular semantics allow only "
+                    f"{sorted(map(repr, allowed))}"
+                ),
+                culprits=(rd.op_id,),
+            )
+    return Verdict(ok=True, property_name=PROPERTY)
+
+
+def count_new_old_inversions(history: History) -> Tuple[int, List[Tuple[int, int]]]:
+    """Count pairs of reads where the later read returned an older write.
+
+    Returns the count and the offending ``(rd1.op_id, rd2.op_id)`` pairs.
+    Only meaningful for histories whose written values identify the write
+    (e.g. monotonically numbered payloads); with duplicated values the
+    oldest matching index is used, which under-counts, never over-counts.
+    """
+    if not history.single_writer():
+        raise SpecificationError("inversion counting expects a single writer")
+    writes = history.writes_in_order()
+    index_of_value = {}
+    for k, wr in enumerate(writes, start=1):
+        index_of_value.setdefault(wr.value, k)
+    index_of_value[BOTTOM] = 0
+
+    complete_reads = sorted(
+        (rd for rd in history.reads if rd.complete),
+        key=lambda op: (op.responded_at, op.op_id),
+    )
+    inversions: List[Tuple[int, int]] = []
+    for i, rd1 in enumerate(complete_reads):
+        k1 = index_of_value.get(rd1.result)
+        if k1 is None:
+            continue
+        for rd2 in complete_reads[i + 1 :]:
+            if not rd1.precedes(rd2):
+                continue
+            k2 = index_of_value.get(rd2.result)
+            if k2 is not None and k2 < k1:
+                inversions.append((rd1.op_id, rd2.op_id))
+    return len(inversions), inversions

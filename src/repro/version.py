@@ -1,0 +1,3 @@
+"""Version of the repro distribution."""
+
+__version__ = "1.0.0"

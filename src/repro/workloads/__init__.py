@@ -1,0 +1,15 @@
+"""Workload generation and experiment running."""
+
+from repro.workloads.generators import ClosedLoopWorkload, WorkloadDriver
+from repro.workloads.runner import RunResult, run_workload
+from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
+
+__all__ = [
+    "ClosedLoopWorkload",
+    "RunResult",
+    "SCENARIOS",
+    "Scenario",
+    "WorkloadDriver",
+    "get_scenario",
+    "run_workload",
+]

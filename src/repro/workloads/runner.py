@@ -1,0 +1,121 @@
+"""One-call experiment runner.
+
+:func:`run_workload` assembles a protocol cluster, arms a closed-loop
+workload (plus optional fault plans and Byzantine replacements), runs
+the simulation to quiescence and returns a :class:`RunResult` bundling
+the history, the trace and the verdicts — the unit every benchmark and
+integration test is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.faults.crash import CrashPlan
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.latency import LatencyModel
+from repro.sim.runtime import Simulation
+from repro.sim.trace import TraceLog
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.fastness import check_all_fast, rounds_histogram
+from repro.spec.histories import History, Verdict
+from repro.spec.linearizability import check_linearizable
+from repro.spec.regularity import check_swmr_regularity
+from repro.workloads.generators import ClosedLoopWorkload, WorkloadDriver
+
+ClusterHook = Callable[[Cluster], None]
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one simulated run."""
+
+    protocol: str
+    config: ClusterConfig
+    history: History
+    trace: TraceLog
+    sim: Simulation
+    events_executed: int
+
+    def check_atomic(self) -> Verdict:
+        """SWMR atomicity for single-writer runs, linearizability else."""
+        if self.config.W == 1:
+            return check_swmr_atomicity(self.history)
+        return check_linearizable(self.history)
+
+    def check_regular(self) -> Verdict:
+        return check_swmr_regularity(self.history)
+
+    def check_fast(self) -> Verdict:
+        return check_all_fast(self.trace, self.history)
+
+    def rounds(self):
+        return rounds_histogram(self.trace, self.history)
+
+    def read_latencies(self):
+        return [
+            op.responded_at - op.invoked_at
+            for op in self.history.reads
+            if op.complete
+        ]
+
+    def write_latencies(self):
+        return [
+            op.responded_at - op.invoked_at
+            for op in self.history.writes
+            if op.complete
+        ]
+
+    def messages_sent(self) -> int:
+        return self.sim.network.sent_count
+
+
+def run_workload(
+    protocol: str,
+    config: ClusterConfig,
+    workload: Optional[ClosedLoopWorkload] = None,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    crash_plan: Optional[CrashPlan] = None,
+    cluster_hook: Optional[ClusterHook] = None,
+    record_trace: bool = True,
+    enforce: bool = True,
+    max_events: int = 2_000_000,
+) -> RunResult:
+    """Run one protocol under one workload and return the evidence.
+
+    Args:
+        protocol: registry name (see :data:`repro.registers.PROTOCOLS`).
+        config: system parameters.
+        workload: closed-loop workload; defaults to a light mixed load.
+        seed: root seed for latencies, think times and fault draws.
+        latency: network latency model (default constant 1.0).
+        crash_plan: optional crashes to arm (validated against ``t``).
+        cluster_hook: called with the built cluster before installation —
+            the place to swap in Byzantine servers.
+        record_trace: disable for large benchmark runs.
+        enforce: verify the protocol's feasibility requirement.
+    """
+    workload = workload or ClosedLoopWorkload()
+    spec = get_protocol(protocol)
+    cluster = spec.build(config, enforce=enforce)
+    if cluster_hook is not None:
+        cluster_hook(cluster)
+    sim = Simulation(seed=seed, latency=latency, record_trace=record_trace)
+    cluster.install(sim)
+    if crash_plan is not None:
+        crash_plan.validate(config)
+        crash_plan.arm(sim)
+    driver = WorkloadDriver(sim, config, workload, seed=seed)
+    driver.arm()
+    events = sim.run(max_events=max_events)
+    return RunResult(
+        protocol=protocol,
+        config=config,
+        history=sim.history,
+        trace=sim.trace,
+        sim=sim,
+        events_executed=events,
+    )

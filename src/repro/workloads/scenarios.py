@@ -1,0 +1,98 @@
+"""Canned scenarios shared by tests, examples and benchmarks.
+
+Each scenario is a named recipe: a workload shape plus (optionally) a
+fault plan factory.  Keeping them here guarantees that the number a
+benchmark reports and the behaviour a test verifies come from the same
+run shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.faults.crash import CrashPlan, random_server_crashes
+from repro.registers.base import ClusterConfig
+from repro.sim.rng import substream
+from repro.workloads.generators import ClosedLoopWorkload
+
+CrashPlanFactory = Callable[[ClusterConfig, random.Random], Optional[CrashPlan]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reusable run recipe."""
+
+    name: str
+    description: str
+    workload: ClosedLoopWorkload
+    crash_factory: Optional[CrashPlanFactory] = None
+
+    def crash_plan(self, config: ClusterConfig, seed: int) -> Optional[CrashPlan]:
+        if self.crash_factory is None:
+            return None
+        return self.crash_factory(config, substream(seed, "crash", self.name))
+
+
+def _crash_up_to_t(config: ClusterConfig, rng: random.Random) -> CrashPlan:
+    return random_server_crashes(config, rng, count=None, window=40.0)
+
+
+def _crash_exactly_t(config: ClusterConfig, rng: random.Random) -> CrashPlan:
+    return random_server_crashes(config, rng, count=config.t, window=40.0)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "smoke": Scenario(
+        name="smoke",
+        description="A handful of spaced-out operations; the quickest sanity run.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=3, writes_per_writer=3, think_time_mean=4.0
+        ),
+    ),
+    "read-heavy": Scenario(
+        name="read-heavy",
+        description="Telemetry-style: many reads per write, light contention.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=20, writes_per_writer=4, think_time_mean=1.0
+        ),
+    ),
+    "write-heavy": Scenario(
+        name="write-heavy",
+        description="Frequent updates with occasional reads.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=5, writes_per_writer=20, think_time_mean=1.0
+        ),
+    ),
+    "contention": Scenario(
+        name="contention",
+        description="Zero think time: every read overlaps writes — the regime "
+        "where atomicity vs regularity differences show.",
+        workload=ClosedLoopWorkload.contention(ops=12),
+    ),
+    "faulty": Scenario(
+        name="faulty",
+        description="Mixed load while a random set of up to t servers crashes.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=12, writes_per_writer=8, think_time_mean=1.5
+        ),
+        crash_factory=_crash_up_to_t,
+    ),
+    "worst-case-faults": Scenario(
+        name="worst-case-faults",
+        description="Exactly t servers crash early; quorum waits bind tightly.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=12, writes_per_writer=8, think_time_mean=1.5
+        ),
+        crash_factory=_crash_exactly_t,
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

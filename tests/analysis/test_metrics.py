@@ -1,0 +1,89 @@
+"""Tests for latency metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    LatencySummary,
+    latencies,
+    latency_by_kind,
+    messages_per_operation,
+    percentile,
+    summarize,
+    throughput,
+)
+from repro.sim.ids import reader, writer
+
+from tests.conftest import build_history
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median_odd(self):
+        assert percentile([1.0, 3.0, 2.0], 0.5) == 2.0
+
+    def test_p100_is_max(self):
+        assert percentile([5.0, 1.0, 9.0], 1.0) == 9.0
+
+    def test_p0_is_min(self):
+        assert percentile([5.0, 1.0, 9.0], 0.0) == 1.0
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_empty_summary(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.maximum == 4.0
+        assert summary.p50 == 2.0
+
+    def test_describe(self):
+        assert "p95" in summarize([1.0]).describe()
+
+
+class TestHistoryMetrics:
+    def make(self):
+        return build_history(
+            [
+                ("w", writer(1), 0.0, 2.0, "a"),
+                ("r", reader(1), 3.0, 4.0, "a"),
+                ("r", reader(2), 5.0, 9.0, "a"),
+                ("r", reader(1), 10.0, None, None),
+            ]
+        )
+
+    def test_latencies_by_kind(self):
+        history = self.make()
+        assert latencies(history, "write") == [2.0]
+        assert sorted(latencies(history, "read")) == [1.0, 4.0]
+
+    def test_incomplete_excluded(self):
+        assert len(latencies(self.make())) == 3
+
+    def test_latency_by_kind_summaries(self):
+        summaries = latency_by_kind(self.make())
+        assert summaries["write"].count == 1
+        assert summaries["read"].count == 2
+
+    def test_throughput(self):
+        history = self.make()
+        # 3 complete ops over span [0, 9]
+        assert throughput(history) == pytest.approx(3 / 9.0)
+
+    def test_throughput_empty(self):
+        assert throughput(build_history([])) == 0.0
+
+    def test_messages_per_operation(self):
+        history = self.make()
+        assert messages_per_operation(30, history) == 10.0
+        assert messages_per_operation(30, build_history([])) == 0.0

@@ -1,0 +1,23 @@
+"""Tests for the consolidated reproduction report."""
+
+from repro.analysis.report import SECTIONS, generate_report
+
+
+class TestReport:
+    def test_all_sections_pass(self):
+        text, all_ok = generate_report()
+        assert all_ok, text
+
+    def test_report_covers_every_experiment_family(self):
+        text, _ = generate_report()
+        for marker in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E10", "E11"):
+            assert marker in text
+
+    def test_every_section_reports_status(self):
+        text, _ = generate_report()
+        assert text.count("[ok]") == len(SECTIONS)
+
+    def test_header_reflects_outcome(self):
+        text, all_ok = generate_report()
+        assert all_ok
+        assert "all claims reproduced" in text

@@ -1,0 +1,29 @@
+"""Tests for the ASCII table renderer."""
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_floats_three_decimals(self):
+        text = render_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(["a"], [["averyverylongcell"]])
+        header, divider, row = text.splitlines()
+        assert len(divider) >= len("averyverylongcell")

@@ -1,0 +1,125 @@
+"""Tests for the block partitions behind the lower-bound runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds.blocks import (
+    block_map,
+    members_of,
+    partition_byzantine,
+    partition_crash,
+)
+from repro.errors import InfeasibleConstructionError
+from repro.sim.ids import servers
+
+
+class TestCrashPartition:
+    def test_block_count_and_names(self):
+        blocks = partition_crash(S=8, t=2, R=2)
+        assert [b.name for b in blocks] == ["B1", "B2", "B3", "B4"]
+
+    def test_sizes_within_cap_and_cover(self):
+        blocks = partition_crash(S=8, t=2, R=2)
+        assert all(len(b) <= 2 for b in blocks)
+        assert sorted(members_of(blocks)) == servers(8)
+
+    def test_pivot_blocks_filled_first(self):
+        """B_{R+1} must be as large as the cap allows: it alone carries
+        the write, and the violating read's evidence comes from it."""
+        blocks = block_map(partition_crash(S=9, t=2, R=3))
+        assert len(blocks["B4"]) == 2  # == t
+
+    def test_members_disjoint(self):
+        blocks = partition_crash(S=12, t=3, R=2)
+        seen = set()
+        for block in blocks:
+            for pid in block:
+                assert pid not in seen
+                seen.add(pid)
+
+    def test_infeasible_region_rejected(self):
+        with pytest.raises(InfeasibleConstructionError):
+            partition_crash(S=9, t=1, R=2)  # 9 > (2+2)*1
+
+    def test_needs_two_readers(self):
+        with pytest.raises(InfeasibleConstructionError):
+            partition_crash(S=3, t=1, R=1)
+
+    def test_needs_t_at_least_one(self):
+        with pytest.raises(InfeasibleConstructionError):
+            partition_crash(S=3, t=0, R=2)
+
+    @given(
+        t=st.integers(min_value=1, max_value=4),
+        R=st.integers(min_value=2, max_value=6),
+        slack=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_valid_partitions(self, t, R, slack):
+        S = max((R + 2) * t - slack, 2)
+        if (R + 2) * t < S or t >= S:
+            return
+        blocks = partition_crash(S=S, t=t, R=R)
+        assert len(blocks) == R + 2
+        assert all(len(b) <= t for b in blocks)
+        assert sorted(members_of(blocks)) == servers(S)
+        pivot = blocks[R]  # B_{R+1}
+        assert len(pivot) >= S - (R + 1) * t  # predicate evidence bound
+
+
+class TestByzantinePartition:
+    def test_block_families(self):
+        t_blocks, b_blocks = partition_byzantine(S=7, t=1, b=1, R=2)
+        assert [b.name for b in t_blocks] == ["T1", "T2", "T3", "T4"]
+        assert [b.name for b in b_blocks] == ["B1", "B2", "B3"]
+
+    def test_caps_and_coverage(self):
+        t_blocks, b_blocks = partition_byzantine(S=13, t=2, b=1, R=3)
+        assert all(len(b) <= 2 for b in t_blocks)
+        assert all(len(b) <= 1 for b in b_blocks)
+        assert sorted(members_of(t_blocks) + members_of(b_blocks)) == servers(13)
+
+    def test_pivots_filled_first(self):
+        t_blocks, b_blocks = partition_byzantine(S=7, t=1, b=1, R=2)
+        assert len(t_blocks[2]) == 1  # T3 = T_{R+1}
+        assert len(b_blocks[2]) == 1  # B3 = B_{R+1}
+
+    def test_b_zero_degenerates(self):
+        t_blocks, b_blocks = partition_byzantine(S=8, t=2, b=0, R=2)
+        assert all(len(b) == 0 for b in b_blocks)
+        assert sorted(members_of(t_blocks)) == servers(8)
+
+    def test_infeasible_region_rejected(self):
+        with pytest.raises(InfeasibleConstructionError):
+            partition_byzantine(S=8, t=1, b=1, R=2)  # 8 > 7
+
+    @given(
+        t=st.integers(min_value=1, max_value=3),
+        b=st.integers(min_value=0, max_value=3),
+        R=st.integers(min_value=2, max_value=5),
+        slack=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_valid_partitions(self, t, b, R, slack):
+        if b > t:
+            return
+        cap = (R + 2) * t + (R + 1) * b
+        S = max(cap - slack, 2)
+        if cap < S or t >= S:
+            return
+        t_blocks, b_blocks = partition_byzantine(S=S, t=t, b=b, R=R)
+        assert all(len(blk) <= t for blk in t_blocks)
+        assert all(len(blk) <= b for blk in b_blocks)
+        assert sorted(members_of(t_blocks) + members_of(b_blocks)) == servers(S)
+
+
+class TestBlockHelpers:
+    def test_block_map(self):
+        blocks = partition_crash(S=8, t=2, R=2)
+        mapping = block_map(blocks)
+        assert mapping["B3"] is blocks[2]
+
+    def test_describe(self):
+        blocks = partition_crash(S=8, t=2, R=2)
+        text = blocks[0].describe()
+        assert text.startswith("B1=")

@@ -1,0 +1,72 @@
+"""Shared test fixtures and history-building helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.sim.ids import ProcessId, reader, writer
+from repro.spec.histories import History, READ, WRITE
+
+
+def build_history(
+    ops: Sequence[Tuple],
+) -> History:
+    """Build a history from compact tuples.
+
+    Each tuple is ``(kind, proc, start, end, payload)`` where:
+
+    * ``kind`` is ``"w"`` or ``"r"``;
+    * ``proc`` is a :class:`ProcessId`;
+    * ``start``/``end`` are invocation/response times (``end=None`` for
+      incomplete operations);
+    * ``payload`` is the written value for writes and the returned value
+      for reads (ignored when incomplete).
+
+    Invocations are replayed in global time order so the History class's
+    single-pending-op discipline is honoured.
+    """
+    history = History()
+    events = []  # (time, order, kind, ...)
+    for index, (kind, proc, start, end, payload) in enumerate(ops):
+        events.append((start, 0, index, kind, proc, payload))
+        if end is not None:
+            events.append((end, 1, index, kind, proc, payload))
+    events.sort(key=lambda item: (item[0], item[1], item[2]))
+    pending = {}
+    for time, phase, index, kind, proc, payload in events:
+        if phase == 0:
+            if kind == "w":
+                op = history.invoke(proc, WRITE, value=payload, at=time)
+            else:
+                op = history.invoke(proc, READ, at=time)
+            pending[index] = op
+        else:
+            if kind == "w":
+                history.respond(proc, "ok", at=time)
+            else:
+                history.respond(proc, payload, at=time)
+    return history
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    """A comfortably feasible fast-crash configuration."""
+    return ClusterConfig(S=8, t=1, R=3)
+
+
+@pytest.fixture
+def w1() -> ProcessId:
+    return writer(1)
+
+
+@pytest.fixture
+def r1() -> ProcessId:
+    return reader(1)
+
+
+@pytest.fixture
+def r2() -> ProcessId:
+    return reader(2)

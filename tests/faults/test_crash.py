@@ -1,0 +1,85 @@
+"""Tests for crash fault plans."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.crash import (
+    CrashPlan,
+    crash_writer_mid_write,
+    random_server_crashes,
+)
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.ids import reader, server, writer
+from repro.sim.latency import UniformLatency
+from repro.sim.runtime import Simulation
+
+CONFIG = ClusterConfig(S=9, t=2, R=2)
+
+
+class TestCrashPlan:
+    def test_add_and_arm(self):
+        cluster = get_protocol("fast-crash").build(CONFIG)
+        sim = Simulation(seed=0)
+        cluster.install(sim)
+        CrashPlan().add(server(1), 1.0).arm(sim)
+        sim.run()
+        assert sim.process(server(1)).crashed
+
+    def test_validate_rejects_too_many_server_crashes(self):
+        plan = CrashPlan()
+        for index in range(1, 4):
+            plan.add(server(index), 1.0)
+        with pytest.raises(ConfigurationError):
+            plan.validate(CONFIG)  # t = 2 < 3
+
+    def test_validate_ignores_client_crashes(self):
+        plan = CrashPlan().add(reader(1), 1.0).add(writer(1), 2.0)
+        plan.validate(CONFIG)  # clients may all crash
+
+    def test_server_crashes_view(self):
+        plan = CrashPlan().add(server(1), 1.0).add(reader(1), 2.0)
+        assert [e.pid for e in plan.server_crashes()] == [server(1)]
+
+
+class TestRandomServerCrashes:
+    def test_respects_t(self):
+        for seed in range(20):
+            plan = random_server_crashes(CONFIG, random.Random(seed))
+            assert len(plan.server_crashes()) <= CONFIG.t
+
+    def test_exact_count(self):
+        plan = random_server_crashes(CONFIG, random.Random(1), count=2)
+        assert len(plan.server_crashes()) == 2
+
+    def test_rejects_count_above_t(self):
+        with pytest.raises(ConfigurationError):
+            random_server_crashes(CONFIG, random.Random(1), count=3)
+
+    def test_deterministic_for_seed(self):
+        one = random_server_crashes(CONFIG, random.Random(7), count=2)
+        two = random_server_crashes(CONFIG, random.Random(7), count=2)
+        assert [(e.pid, e.at) for e in one.events] == [
+            (e.pid, e.at) for e in two.events
+        ]
+
+
+class TestWriterMidWriteCrash:
+    def test_partial_write_reaches_exact_count(self):
+        cluster = get_protocol("fast-crash").build(CONFIG)
+        sim = Simulation(seed=0, latency=UniformLatency(0.5, 1.5))
+        cluster.install(sim)
+        crash_writer_mid_write(sim, CONFIG, reach=3)
+        sim.invoke(writer(1), "write", "partial")
+        sim.run()
+        sends = sim.trace.sends_by(writer(1))
+        assert len(sends) == 3
+        assert sim.process(writer(1)).crashed
+        assert not sim.history.operations[0].complete
+
+    def test_rejects_reach_out_of_range(self):
+        sim = Simulation(seed=0)
+        with pytest.raises(ConfigurationError):
+            crash_writer_mid_write(sim, CONFIG, reach=10)

@@ -1,0 +1,118 @@
+"""Property test: random adversarial schedules preserve atomicity.
+
+Hypothesis plays the adversary against the feasible-region protocols:
+it picks, per operation, which quorum answers (and in what order), may
+leave a trailing write forever incomplete, and interleaves reads from
+different readers.  Whatever it picks, the resulting history must be
+atomic — the executable form of the paper's correctness theorem
+(Section 4), complementing the lower-bound side where the adversary
+*does* win beyond the threshold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import reader, servers, writer
+from repro.spec.atomicity import check_swmr_atomicity
+
+
+@st.composite
+def schedules(draw, S: int, t: int, R: int):
+    """A list of scheduled operations with adversarial quorum choices."""
+    quorum = S - t
+    all_servers = servers(S)
+    steps = []
+    n_ops = draw(st.integers(min_value=1, max_value=7))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["write", "read"]))
+        order = draw(st.permutations(all_servers))
+        if kind == "write":
+            steps.append(("write", list(order[:quorum])))
+        else:
+            who = draw(st.integers(min_value=1, max_value=R))
+            steps.append(("read", who, list(order[:quorum])))
+    # optionally a trailing partial write that never completes
+    if draw(st.booleans()):
+        reach = draw(st.integers(min_value=0, max_value=quorum - 1))
+        order = draw(st.permutations(all_servers))
+        steps.append(("partial-write", list(order[:reach])))
+        # and a final read racing it
+        who = draw(st.integers(min_value=1, max_value=R))
+        order = draw(st.permutations(all_servers))
+        steps.append(("read", who, list(order[:quorum])))
+    return steps
+
+
+def execute(protocol: str, config: ClusterConfig, steps) -> ScriptedExecution:
+    cluster = get_protocol(protocol).build(config)
+    execution = ScriptedExecution()
+    cluster.install(execution)
+    write_value = 0
+    for step in steps:
+        if step[0] == "write":
+            write_value += 1
+            op = execution.invoke(writer(1), "write", write_value)
+            execution.complete_operation(op, via=step[1])
+        elif step[0] == "partial-write":
+            write_value += 1
+            op = execution.invoke(writer(1), "write", write_value)
+            execution.deliver_requests(op, to=step[1])
+        else:
+            _, who, via = step
+            op = execution.invoke(reader(who), "read")
+            execution.complete_operation(op, via=via)
+    return execution
+
+
+class TestFastCrashUnderAdversary:
+    @given(steps=schedules(S=7, t=1, R=3))
+    @settings(max_examples=120, deadline=None)
+    def test_atomicity_whatever_the_adversary_picks(self, steps):
+        config = ClusterConfig(S=7, t=1, R=3)
+        execution = execute("fast-crash", config, steps)
+        verdict = check_swmr_atomicity(execution.history)
+        assert verdict.ok, (
+            verdict.describe() + "\n" + execution.history.describe()
+        )
+
+
+class TestAbdUnderAdversary:
+    @given(steps=schedules(S=5, t=2, R=3))
+    @settings(max_examples=60, deadline=None)
+    def test_atomicity(self, steps):
+        config = ClusterConfig(S=5, t=2, R=3)
+        execution = execute("abd", config, steps)
+        assert check_swmr_atomicity(execution.history).ok
+
+
+class TestSemifastUnderAdversary:
+    @given(steps=schedules(S=5, t=2, R=4))
+    @settings(max_examples=60, deadline=None)
+    def test_atomicity(self, steps):
+        config = ClusterConfig(S=5, t=2, R=4)
+        execution = execute("semifast", config, steps)
+        assert check_swmr_atomicity(execution.history).ok
+
+
+class TestSwsrUnderAdversary:
+    @given(steps=schedules(S=5, t=2, R=1))
+    @settings(max_examples=60, deadline=None)
+    def test_atomicity(self, steps):
+        config = ClusterConfig(S=5, t=2, R=1)
+        execution = execute("swsr-fast", config, steps)
+        assert check_swmr_atomicity(execution.history).ok
+
+
+class TestRegularUnderAdversary:
+    @given(steps=schedules(S=5, t=2, R=3))
+    @settings(max_examples=60, deadline=None)
+    def test_regularity_always(self, steps):
+        from repro.spec.regularity import check_swmr_regularity
+
+        config = ClusterConfig(S=5, t=2, R=3)
+        execution = execute("regular-fast", config, steps)
+        assert check_swmr_regularity(execution.history).ok

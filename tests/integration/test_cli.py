@@ -1,0 +1,130 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--protocol", "paxos"])
+
+
+class TestCommands:
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "fast-crash" in out
+        assert "abd" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--servers", "8", "--t", "1", "--readers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "SWMR atomicity" in out
+        assert "OK" in out
+
+    def test_demo_other_protocol(self, capsys):
+        assert main(
+            ["demo", "--protocol", "abd", "--servers", "5", "--t", "2"]
+        ) == 0
+
+    def test_feasibility(self, capsys):
+        assert main(["feasibility", "--max-servers", "10", "--t", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "F" in out and "x" in out
+        assert "max fast readers" in out
+
+    def test_lower_bound_crash(self, capsys):
+        code = main(
+            ["lower-bound", "crash", "--servers", "4", "--t", "1", "--readers", "2"]
+        )
+        assert code == 0  # 0 = violation found, as the theorem predicts
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_lower_bound_byzantine(self, capsys):
+        code = main(
+            [
+                "lower-bound",
+                "byzantine",
+                "--servers",
+                "7",
+                "--t",
+                "1",
+                "--b",
+                "1",
+                "--readers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_lower_bound_mwmr(self, capsys):
+        assert main(["lower-bound", "mwmr", "--servers", "4"]) == 0
+        assert "Proposition 11" in capsys.readouterr().out
+
+    def test_chain_crash(self, capsys):
+        assert main(
+            ["chain", "crash", "--servers", "4", "--t", "1", "--readers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pr^C ~r1 pr^D: holds" in out
+
+    def test_chain_byzantine(self, capsys):
+        assert main(
+            [
+                "chain",
+                "byzantine",
+                "--servers",
+                "7",
+                "--t",
+                "1",
+                "--b",
+                "1",
+                "--readers",
+                "2",
+            ]
+        ) == 0
+        assert "anchored: r1 returns 1" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--servers",
+                "9",
+                "--t",
+                "1",
+                "--readers",
+                "3",
+                "--ops",
+                "3",
+                "--protocols",
+                "fast-crash",
+                "abd",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fast-crash" in out and "abd" in out
+
+    def test_compare_reports_infeasible(self, capsys):
+        assert main(
+            [
+                "compare",
+                "--servers",
+                "4",
+                "--t",
+                "1",
+                "--readers",
+                "2",
+                "--protocols",
+                "fast-crash",
+            ]
+        ) == 0
+        assert "infeasible" in capsys.readouterr().out

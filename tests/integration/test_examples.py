@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Run as subprocesses so the examples are exercised exactly as a user
+would run them (fresh interpreter, `python examples/<name>.py`).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "sensor_fanout",
+        "byzantine_audit",
+        "lower_bound_gallery",
+        "regular_vs_atomic",
+    } <= names
+
+
+def test_quickstart_reports_verdicts():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "SWMR atomicity (Section 3.1): OK" in proc.stdout
+    assert "fast implementation (Section 3.2): OK" in proc.stdout
+
+
+def test_gallery_shows_all_three_bounds():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "lower_bound_gallery.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert "Section 5" in proc.stdout
+    assert "Section 6.2" in proc.stdout
+    assert "Proposition 11" in proc.stdout
+    assert "VIOLATION" in proc.stdout

@@ -1,0 +1,55 @@
+"""Shared helpers for protocol test modules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.ids import ProcessId, reader, writer
+from repro.sim.latency import UniformLatency
+from repro.sim.runtime import Simulation
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.fastness import check_all_fast
+from repro.spec.linearizability import check_linearizable
+
+
+def run_sequence(
+    protocol: str,
+    config: ClusterConfig,
+    ops: List[Tuple[float, ProcessId, str, object]],
+    seed: int = 0,
+    latency=None,
+) -> Simulation:
+    """Run timed invocations under the free-running runtime."""
+    cluster = get_protocol(protocol).build(config)
+    sim = Simulation(seed=seed, latency=latency or UniformLatency(0.5, 1.5))
+    cluster.install(sim)
+    for time, pid, kind, value in ops:
+        sim.invoke_at(time, pid, kind, value)
+    sim.run()
+    return sim
+
+
+def spaced_ops(writes: int = 3, readers: int = 2, gap: float = 5.0):
+    """Alternating write/read schedule with non-overlapping operations."""
+    ops = []
+    time = 0.0
+    for k in range(1, writes + 1):
+        ops.append((time, writer(1), "write", k))
+        time += gap
+        for r in range(1, readers + 1):
+            ops.append((time, reader(r), "read", None))
+            time += gap
+    return ops
+
+
+def assert_atomic_and_complete(sim: Simulation) -> None:
+    assert not sim.history.incomplete_operations, sim.history.describe()
+    verdict = check_swmr_atomicity(sim.history)
+    assert verdict.ok, verdict.describe() + "\n" + sim.history.describe()
+
+
+def assert_fast(sim: Simulation) -> None:
+    verdict = check_all_fast(sim.trace, sim.history)
+    assert verdict.ok, verdict.describe()

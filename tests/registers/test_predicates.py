@@ -1,0 +1,125 @@
+"""Tests for the fast-read seen-predicate (Figures 2 and 5, line 19)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.registers.predicates import (
+    seen_predicate,
+    seen_predicate_bruteforce,
+    witness_a,
+)
+from repro.sim.ids import reader, writer
+
+
+def seen(*names):
+    """Build a seen set from shorthand: 'w' and integers for readers."""
+    out = set()
+    for name in names:
+        if name == "w":
+            out.add(writer(1))
+        else:
+            out.add(reader(name))
+    return frozenset(out)
+
+
+class TestKnownCases:
+    def test_paper_lemma2_case(self):
+        """All S-t acks carry maxTS and contain the reader: a=1 fires."""
+        sets = [seen(1)] * 7  # S=8, t=1: S - t = 7 messages
+        assert seen_predicate(sets, S=8, t=1, R=3)
+
+    def test_paper_lemma3_case(self):
+        """Write completed: S-2t acks contain {w, reader}: a=2 fires."""
+        sets = [seen("w", 1)] * 6  # S=8, t=1: S - 2t = 6
+        assert seen_predicate(sets, S=8, t=1, R=3)
+
+    def test_insufficient_evidence(self):
+        # Single maxTS ack with a tiny seen set in a big system: no a works.
+        sets = [seen("w")]
+        assert not seen_predicate(sets, S=8, t=1, R=3)
+
+    def test_empty_messages(self):
+        assert not seen_predicate([], S=8, t=1, R=3)
+
+    def test_a_equals_r_plus_one(self):
+        """The a = R+1 corner used at the threshold: few messages, but
+        every client in their seen sets."""
+        R, S, t = 2, 4, 1
+        sets = [seen("w", 1, 2)]  # 1 message >= S - (R+1)t = 1
+        assert seen_predicate(sets, S=S, t=t, R=R)
+
+    def test_byzantine_slack_weakens_requirement(self):
+        # b > 0 lowers the required count S - at - (a-1)b for a >= 2
+        sets = [seen("w", 1)] * 4
+        S, t, R = 8, 1, 2
+        assert not seen_predicate(sets, S=S, t=t, R=R, b=0)  # needs 6
+        assert seen_predicate(sets, S=S, t=t, R=R, b=2)  # needs 8-2-2=4
+
+    def test_disjoint_seen_sets_fail(self):
+        sets = [seen(1), seen(2), seen(3), seen("w")]
+        assert not seen_predicate(sets, S=4, t=1, R=3)
+        # ... unless a=1 can fire via one process in enough sets
+        sets = [seen(1), seen(1), seen(1)]
+        assert seen_predicate(sets, S=4, t=1, R=3)
+
+
+class TestWitness:
+    def test_witness_returned(self):
+        sets = [seen("w", 1)] * 6
+        result = witness_a(sets, S=8, t=1, R=3)
+        assert result is not None
+        a, processes = result
+        assert 1 <= a <= 4
+        count = sum(1 for s in sets if all(p in s for p in processes))
+        assert count >= max(8 - a * 1, 1)
+        assert len(processes) == a
+
+    def test_no_witness_when_false(self):
+        assert witness_a([seen("w")], S=8, t=1, R=3) is None
+
+
+@st.composite
+def predicate_instances(draw):
+    S = draw(st.integers(min_value=2, max_value=7))
+    t = draw(st.integers(min_value=1, max_value=S - 1))
+    R = draw(st.integers(min_value=1, max_value=3))
+    b = draw(st.integers(min_value=0, max_value=t))
+    clients = [writer(1)] + [reader(i) for i in range(1, R + 1)]
+    n_msgs = draw(st.integers(min_value=0, max_value=S))
+    sets = []
+    for _ in range(n_msgs):
+        members = draw(
+            st.sets(st.sampled_from(clients), min_size=0, max_size=len(clients))
+        )
+        sets.append(frozenset(members))
+    return sets, S, t, R, b
+
+
+class TestAgainstBruteForce:
+    @given(instance=predicate_instances())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_literal_transcription(self, instance):
+        sets, S, t, R, b = instance
+        fast = seen_predicate(sets, S=S, t=t, R=R, b=b)
+        oracle = seen_predicate_bruteforce(sets, S=S, t=t, R=R, b=b)
+        assert fast == oracle, (sets, S, t, R, b)
+
+    @given(instance=predicate_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_in_evidence(self, instance):
+        """Adding a message can only help the predicate."""
+        sets, S, t, R, b = instance
+        if not sets:
+            return
+        if seen_predicate(sets[:-1], S=S, t=t, R=R, b=b):
+            assert seen_predicate(sets, S=S, t=t, R=R, b=b)
+
+    @given(instance=predicate_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_in_seen_sets(self, instance):
+        """Growing any seen set can only help the predicate."""
+        sets, S, t, R, b = instance
+        if not sets:
+            return
+        grown = [frozenset(s | {writer(1)}) for s in sets]
+        if seen_predicate(sets, S=S, t=t, R=R, b=b):
+            assert seen_predicate(grown, S=S, t=t, R=R, b=b)

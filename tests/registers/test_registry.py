@@ -1,0 +1,58 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import PROTOCOLS, get_protocol
+
+
+class TestRegistry:
+    def test_all_expected_protocols_present(self):
+        assert set(PROTOCOLS) == {
+            "fast-crash",
+            "fast-byzantine",
+            "abd",
+            "maxmin",
+            "swsr-fast",
+            "regular-fast",
+            "semifast",
+            "mwmr",
+            "naive-fast-mwmr",
+        }
+
+    def test_get_protocol_unknown(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_protocol("paxos")
+
+    def test_names_match_keys(self):
+        for key, spec in PROTOCOLS.items():
+            assert spec.name == key
+
+    def test_fast_flags_consistent_with_rounds(self):
+        for spec in PROTOCOLS.values():
+            if spec.fast_reads:
+                assert spec.read_rounds == 1
+            if spec.fast_writes:
+                assert spec.write_rounds == 1
+
+    def test_single_writer_protocols_reject_multiwriter_configs(self):
+        config = ClusterConfig(S=20, t=1, R=2, W=2)
+        for spec in PROTOCOLS.values():
+            if not spec.multi_writer:
+                assert spec.requirement(config) is not None
+
+    def test_every_spec_buildable_on_generous_config(self):
+        for spec in PROTOCOLS.values():
+            readers = 1 if spec.name == "swsr-fast" else 2
+            config = ClusterConfig(
+                S=20, t=1, R=readers, W=2 if spec.multi_writer else 1
+            )
+            assert spec.requirement(config) is None, spec.name
+            cluster = spec.build(config)
+            assert len(cluster.servers) == 20
+            assert cluster.protocol == spec.name
+
+    def test_metadata_strings_nonempty(self):
+        for spec in PROTOCOLS.values():
+            assert spec.summary
+            assert spec.paper_source

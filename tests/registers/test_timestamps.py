@@ -1,0 +1,104 @@
+"""Tests for value tags and timestamps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import ProtocolError
+from repro.registers.timestamps import (
+    INITIAL_MW_TAG,
+    INITIAL_SIGNED_TAG,
+    INITIAL_TAG,
+    MWTimestamp,
+    SignedValueTag,
+    ValueTag,
+    sign_tag,
+    verify_tag,
+)
+from repro.sim.ids import writer
+from repro.spec.histories import BOTTOM
+
+
+class TestValueTag:
+    def test_ordering_by_ts(self):
+        assert ValueTag(1, "a") < ValueTag(2, "b")
+        assert max(ValueTag(3, "x"), ValueTag(1, "y")).value == "x"
+
+    def test_initial_tag(self):
+        assert INITIAL_TAG.ts == 0
+        assert INITIAL_TAG.value == BOTTOM
+        assert INITIAL_TAG.prev_value == BOTTOM
+
+    def test_equality_includes_values(self):
+        assert ValueTag(1, "a", "p") == ValueTag(1, "a", "p")
+        assert ValueTag(1, "a", "p") != ValueTag(1, "b", "p")
+
+    def test_str(self):
+        assert "ts=2" in str(ValueTag(2, "v"))
+
+
+class TestMWTimestamp:
+    def test_lexicographic_order(self):
+        assert MWTimestamp(1, 2) < MWTimestamp(2, 1)
+        assert MWTimestamp(1, 1) < MWTimestamp(1, 2)
+
+    def test_next_for(self):
+        ts = MWTimestamp(3, 1).next_for(2)
+        assert ts == MWTimestamp(4, 2)
+
+    def test_initial_mw_tag_smallest(self):
+        assert INITIAL_MW_TAG.ts < MWTimestamp(1, 1)
+
+    @given(
+        a=st.tuples(st.integers(0, 100), st.integers(0, 10)),
+        b=st.tuples(st.integers(0, 100), st.integers(0, 10)),
+    )
+    def test_total_order(self, a, b):
+        x, y = MWTimestamp(*a), MWTimestamp(*b)
+        assert (x < y) + (y < x) + (x == y) == 1
+
+
+class TestSignedTags:
+    @pytest.fixture
+    def authority(self):
+        auth = SignatureAuthority(seed=3)
+        auth.register(writer(1))
+        auth.register(writer(2))
+        return auth
+
+    def test_sign_and_verify(self, authority):
+        tag = sign_tag(authority, writer(1), 4, "v", "p")
+        assert verify_tag(authority, writer(1), tag)
+
+    def test_initial_tag_valid_unsigned(self, authority):
+        assert verify_tag(authority, writer(1), INITIAL_SIGNED_TAG)
+
+    def test_nonzero_unsigned_invalid(self, authority):
+        fake = SignedValueTag(ts=5, value="v", prev_value="p", signed=None)
+        assert not verify_tag(authority, writer(1), fake)
+
+    def test_unsigned_initial_with_wrong_content_invalid(self, authority):
+        fake = SignedValueTag(ts=0, value="not-bottom", prev_value=BOTTOM, signed=None)
+        assert not verify_tag(authority, writer(1), fake)
+
+    def test_field_mismatch_with_signature_invalid(self, authority):
+        """A Byzantine server cannot re-label a signed payload."""
+        tag = sign_tag(authority, writer(1), 4, "v", "p")
+        relabeled = SignedValueTag(ts=9, value="v", prev_value="p", signed=tag.signed)
+        assert not verify_tag(authority, writer(1), relabeled)
+
+    def test_wrong_writer_invalid(self, authority):
+        tag = sign_tag(authority, writer(2), 4, "v", "p")
+        assert not verify_tag(authority, writer(1), tag)
+
+    def test_non_tag_objects_invalid(self, authority):
+        assert not verify_tag(authority, writer(1), "garbage")
+        assert not verify_tag(authority, writer(1), ValueTag(1, "v"))
+
+    def test_sign_tag_rejects_ts_zero(self, authority):
+        with pytest.raises(ProtocolError):
+            sign_tag(authority, writer(1), 0, "v", "p")
+
+    def test_payload_tuple(self):
+        tag = SignedValueTag(ts=2, value="v", prev_value="p")
+        assert tag.payload_tuple() == (2, "v", "p")

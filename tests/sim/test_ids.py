@@ -1,0 +1,67 @@
+"""Tests for process identities."""
+
+import pytest
+
+from repro.sim import ids
+
+
+class TestProcessId:
+    def test_str_rendering(self):
+        assert str(ids.server(3)) == "s3"
+        assert str(ids.reader(1)) == "r1"
+        assert str(ids.writer(2)) == "w2"
+
+    def test_role_predicates(self):
+        assert ids.server(1).is_server
+        assert not ids.server(1).is_client
+        assert ids.reader(1).is_reader
+        assert ids.reader(1).is_client
+        assert ids.writer(1).is_writer
+        assert ids.writer(1).is_client
+
+    def test_hashable_and_equal(self):
+        assert ids.server(2) == ids.server(2)
+        assert ids.server(2) != ids.server(3)
+        assert len({ids.server(2), ids.server(2), ids.server(3)}) == 2
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ids.server(0)
+        with pytest.raises(ValueError):
+            ids.reader(-1)
+
+    def test_index_must_be_int(self):
+        with pytest.raises(ValueError):
+            ids.server("three")
+
+
+class TestCollections:
+    def test_servers_list(self):
+        assert ids.servers(3) == [ids.server(1), ids.server(2), ids.server(3)]
+
+    def test_empty_collections(self):
+        assert ids.readers(0) == []
+        assert ids.servers(0) == []
+
+    def test_sort_ids_orders_roles(self):
+        unordered = [ids.server(1), ids.reader(2), ids.writer(1), ids.reader(1)]
+        ordered = ids.sort_ids(unordered)
+        assert ordered == [
+            ids.writer(1),
+            ids.reader(1),
+            ids.reader(2),
+            ids.server(1),
+        ]
+
+
+class TestClientIndex:
+    def test_writer_maps_to_zero(self):
+        assert ids.client_index(ids.writer(1)) == 0
+
+    def test_readers_map_to_their_index(self):
+        assert ids.client_index(ids.reader(1)) == 1
+        assert ids.client_index(ids.reader(7)) == 7
+
+    def test_servers_rejected(self):
+        with pytest.raises(ValueError):
+            ids.client_index(ids.server(1))

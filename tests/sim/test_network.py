@@ -1,0 +1,162 @@
+"""Tests for the two network transports."""
+
+import random
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim.events import EventQueue, VirtualClock, run_until_quiet
+from repro.sim.ids import reader, server
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.messages import Envelope
+from repro.sim.network import HeldNetwork, SimNetwork
+
+
+def make_sim_network(fifo=False, latency=None, drops=None):
+    queue, clock = EventQueue(), VirtualClock()
+    delivered = []
+    network = SimNetwork(
+        queue=queue,
+        clock=clock,
+        deliver=delivered.append,
+        latency=latency or ConstantLatency(1.0),
+        rng=random.Random(0),
+        fifo=fifo,
+        on_drop=(drops.append if drops is not None else None),
+    )
+    return network, queue, clock, delivered
+
+
+def env(payload="x", src=None, dst=None):
+    return Envelope(src=src or reader(1), dst=dst or server(1), payload=payload)
+
+
+class TestSimNetwork:
+    def test_delivers_after_latency(self):
+        network, queue, clock, delivered = make_sim_network()
+        network.submit(env("hello"))
+        assert delivered == []
+        run_until_quiet(queue, clock)
+        assert [e.payload for e in delivered] == ["hello"]
+        assert clock.now == 1.0
+
+    def test_counts_sends(self):
+        network, queue, clock, _ = make_sim_network()
+        network.submit(env())
+        network.submit(env())
+        assert network.sent_count == 2
+
+    def test_send_filter_drops(self):
+        drops = []
+        network, queue, clock, delivered = make_sim_network(drops=drops)
+        network.add_send_filter(lambda e: e.payload != "bad")
+        network.submit(env("good"))
+        network.submit(env("bad"))
+        run_until_quiet(queue, clock)
+        assert [e.payload for e in delivered] == ["good"]
+        assert [e.payload for e in drops] == ["bad"]
+        assert network.dropped_count == 1
+
+    def test_non_fifo_can_reorder(self):
+        # With uniform latency, later sends can overtake earlier ones.
+        network, queue, clock, delivered = make_sim_network(
+            latency=UniformLatency(0.1, 10.0)
+        )
+        for index in range(40):
+            network.submit(env(index))
+        run_until_quiet(queue, clock)
+        order = [e.payload for e in delivered]
+        assert sorted(order) == list(range(40))
+        assert order != list(range(40))  # overwhelmingly likely reordered
+
+    def test_fifo_preserves_per_link_order(self):
+        network, queue, clock, delivered = make_sim_network(
+            fifo=True, latency=UniformLatency(0.1, 10.0)
+        )
+        for index in range(40):
+            network.submit(env(index))
+        run_until_quiet(queue, clock)
+        assert [e.payload for e in delivered] == list(range(40))
+
+    def test_fifo_applies_per_link_not_globally(self):
+        network, queue, clock, delivered = make_sim_network(
+            fifo=True, latency=UniformLatency(0.1, 10.0)
+        )
+        for index in range(20):
+            dst = server(1 + index % 2)
+            network.submit(env(index, dst=dst))
+        run_until_quiet(queue, clock)
+        for link_dst in (server(1), server(2)):
+            seq = [e.payload for e in delivered if e.dst == link_dst]
+            assert seq == sorted(seq)
+
+
+class TestHeldNetwork:
+    def test_holds_until_release(self):
+        delivered = []
+        network = HeldNetwork(deliver=delivered.append)
+        message = env("held")
+        network.submit(message)
+        assert delivered == []
+        assert network.in_transit() == [message]
+        network.release(message)
+        assert delivered == [message]
+        assert network.in_transit() == []
+
+    def test_release_unknown_raises(self):
+        network = HeldNetwork(deliver=lambda e: None)
+        with pytest.raises(ScheduleError):
+            network.release(env())
+
+    def test_double_release_raises(self):
+        delivered = []
+        network = HeldNetwork(deliver=delivered.append)
+        message = env()
+        network.submit(message)
+        network.release(message)
+        with pytest.raises(ScheduleError):
+            network.release(message)
+
+    def test_drop_removes_without_delivery(self):
+        delivered = []
+        network = HeldNetwork(deliver=delivered.append)
+        message = env()
+        network.submit(message)
+        network.drop(message)
+        assert delivered == []
+        assert network.dropped == [message]
+        with pytest.raises(ScheduleError):
+            network.drop(message)
+
+    def test_in_transit_filters(self):
+        network = HeldNetwork(deliver=lambda e: None)
+        a = env("a", src=reader(1), dst=server(1))
+        b = env("b", src=reader(2), dst=server(2))
+        network.submit(a)
+        network.submit(b)
+        assert network.in_transit(src=reader(1)) == [a]
+        assert network.in_transit(dst=server(2)) == [b]
+        assert network.in_transit(payload_type=str) == [a, b]
+        assert network.in_transit(payload_type=int) == []
+
+    def test_release_all_preserves_order(self):
+        delivered = []
+        network = HeldNetwork(deliver=delivered.append)
+        messages = [env(i) for i in range(5)]
+        for message in messages:
+            network.submit(message)
+        count = network.release_all(reversed(messages))
+        assert count == 5
+        assert [e.payload for e in delivered] == [4, 3, 2, 1, 0]
+
+    def test_op_id_filter(self):
+        class P:
+            def __init__(self, op_id):
+                self.op_id = op_id
+
+        network = HeldNetwork(deliver=lambda e: None)
+        first = Envelope(src=reader(1), dst=server(1), payload=P(1))
+        second = Envelope(src=reader(1), dst=server(1), payload=P(2))
+        network.submit(first)
+        network.submit(second)
+        assert network.in_transit(op_id=1) == [first]

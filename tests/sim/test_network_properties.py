@@ -1,0 +1,91 @@
+"""Property tests for the channel guarantees of Section 2.
+
+The model's channels are reliable and do not duplicate: every message
+submitted to the free-running network is delivered exactly once (unless
+a fault filter drops it at send time), regardless of the latency model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import EventQueue, VirtualClock, run_until_quiet
+from repro.sim.ids import reader, server
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.messages import Envelope
+from repro.sim.network import SimNetwork
+
+MODELS = [
+    ConstantLatency(1.0),
+    UniformLatency(0.1, 5.0),
+    ExponentialLatency(mean=1.0),
+    LogNormalLatency(median=1.0, sigma=1.0),
+]
+
+
+@given(
+    count=st.integers(min_value=0, max_value=60),
+    model_index=st.integers(min_value=0, max_value=len(MODELS) - 1),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=80, deadline=None)
+def test_exactly_once_delivery(count, model_index, seed):
+    queue, clock = EventQueue(), VirtualClock()
+    delivered = []
+    network = SimNetwork(
+        queue=queue,
+        clock=clock,
+        deliver=delivered.append,
+        latency=MODELS[model_index],
+        rng=random.Random(seed),
+    )
+    submitted = [
+        Envelope(src=reader(1), dst=server(1 + i % 3), payload=i)
+        for i in range(count)
+    ]
+    for env in submitted:
+        network.submit(env)
+    run_until_quiet(queue, clock)
+    assert sorted(e.env_id for e in delivered) == sorted(
+        e.env_id for e in submitted
+    )
+    assert len(delivered) == len(set(e.env_id for e in delivered))
+
+
+@given(
+    count=st.integers(min_value=1, max_value=40),
+    drop_mod=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_send_filters_partition_messages(count, drop_mod):
+    """Every message is either delivered or reported dropped: none lost
+    silently, none duplicated."""
+    queue, clock = EventQueue(), VirtualClock()
+    delivered, dropped = [], []
+    network = SimNetwork(
+        queue=queue,
+        clock=clock,
+        deliver=delivered.append,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(0),
+        on_drop=dropped.append,
+    )
+    network.add_send_filter(lambda env: env.payload % drop_mod != 0)
+    submitted = [
+        Envelope(src=reader(1), dst=server(1), payload=i) for i in range(count)
+    ]
+    for env in submitted:
+        network.submit(env)
+    run_until_quiet(queue, clock)
+    seen = sorted(e.env_id for e in delivered) + sorted(
+        e.env_id for e in dropped
+    )
+    assert sorted(seen) == sorted(e.env_id for e in submitted)
+    assert network.sent_count + network.dropped_count == count

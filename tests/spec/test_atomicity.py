@@ -1,0 +1,207 @@
+"""Tests for the SWMR atomicity checker (Section 3.1 conditions)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.ids import reader, writer
+from repro.spec.atomicity import check_swmr_atomicity, check_termination
+from repro.spec.histories import BOTTOM
+
+from tests.conftest import build_history
+
+W = writer(1)
+R1, R2, R3 = reader(1), reader(2), reader(3)
+
+
+def check(ops):
+    return check_swmr_atomicity(build_history(ops))
+
+
+class TestCondition1:
+    def test_read_of_written_value_ok(self):
+        assert check(
+            [("w", W, 0, 1, "a"), ("r", R1, 2, 3, "a")]
+        ).ok
+
+    def test_read_of_initial_value_ok(self):
+        assert check([("r", R1, 0, 1, BOTTOM)]).ok
+
+    def test_read_of_never_written_value_fails(self):
+        verdict = check([("w", W, 0, 1, "a"), ("r", R1, 2, 3, "ghost")])
+        assert not verdict.ok
+        assert "condition 1" in verdict.reason
+
+
+class TestCondition2:
+    def test_read_after_write_must_not_be_stale(self):
+        verdict = check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("r", R1, 4, 5, "a"),  # stale: write(b) precedes
+            ]
+        )
+        assert not verdict.ok
+
+    def test_read_after_write_returns_latest_ok(self):
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("r", R1, 4, 5, "b"),
+            ]
+        ).ok
+
+    def test_bottom_after_completed_write_fails(self):
+        verdict = check([("w", W, 0, 1, "a"), ("r", R1, 2, 3, BOTTOM)])
+        assert not verdict.ok
+
+    def test_concurrent_read_may_return_either(self):
+        assert check(
+            [("w", W, 0, 10, "a"), ("r", R1, 1, 2, BOTTOM)]
+        ).ok
+        assert check(
+            [("w", W, 0, 10, "a"), ("r", R1, 1, 2, "a")]
+        ).ok
+
+
+class TestCondition3:
+    def test_read_cannot_see_future_write(self):
+        verdict = check(
+            [
+                ("r", R1, 0, 1, "a"),
+                ("w", W, 2, 3, "a"),
+            ]
+        )
+        assert not verdict.ok
+        assert "condition 3" in verdict.reason
+
+    def test_concurrent_incomplete_write_readable(self):
+        # an incomplete write is concurrent with everything after it
+        assert check(
+            [
+                ("w", W, 0, None, "a"),
+                ("r", R1, 1, 2, "a"),
+            ]
+        ).ok
+
+
+class TestCondition4:
+    def test_new_old_inversion_detected(self):
+        verdict = check(
+            [
+                ("w", W, 0, None, "a"),       # incomplete write
+                ("r", R1, 1, 2, "a"),          # sees it
+                ("r", R2, 3, 4, BOTTOM),       # later read sees older value
+            ]
+        )
+        assert not verdict.ok
+
+    def test_monotone_reads_ok(self):
+        assert check(
+            [
+                ("w", W, 0, None, "a"),
+                ("r", R1, 1, 2, BOTTOM),
+                ("r", R2, 3, 4, "a"),
+            ]
+        ).ok
+
+    def test_concurrent_reads_unconstrained(self):
+        # two overlapping reads may disagree on an in-flight write
+        assert check(
+            [
+                ("w", W, 0, None, "a"),
+                ("r", R1, 1, 5, "a"),
+                ("r", R2, 2, 6, BOTTOM),
+            ]
+        ).ok
+
+    def test_same_reader_monotonic(self):
+        verdict = check(
+            [
+                ("w", W, 0, None, "a"),
+                ("r", R1, 1, 2, "a"),
+                ("r", R1, 3, 4, BOTTOM),
+            ]
+        )
+        assert not verdict.ok
+
+    def test_chain_of_three_readers(self):
+        verdict = check(
+            [
+                ("w", W, 0, None, "a"),
+                ("r", R1, 1, 2, "a"),
+                ("r", R2, 3, 4, "a"),
+                ("r", R3, 5, 6, BOTTOM),
+            ]
+        )
+        assert not verdict.ok
+
+
+class TestDuplicateValues:
+    def test_rewritten_value_resolves_to_later_index(self):
+        # value "a" written twice; a late read of "a" is index 3, fine
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("w", W, 4, 5, "a"),
+                ("r", R1, 6, 7, "a"),
+            ]
+        ).ok
+
+    def test_duplicate_respects_monotonicity(self):
+        # r1 reads "b" (index 2); later r2 reads "a" — must be index 3
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("w", W, 4, 5, "a"),
+                ("r", R1, 6, 7, "b"),
+            ]
+        ).ok is False  # "b" is stale after write 3 completed
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("w", W, 4, None, "a"),  # third write incomplete/concurrent
+                ("r", R1, 5, 6, "b"),
+                ("r", R2, 7, 8, "a"),
+            ]
+        ).ok
+
+
+class TestIncompleteReads:
+    def test_incomplete_reads_ignored(self):
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("r", R1, 2, None, None),
+            ]
+        ).ok
+
+
+class TestMultiWriterRejected:
+    def test_raises_for_multi_writer(self):
+        history = build_history(
+            [
+                ("w", writer(1), 0, 1, "a"),
+                ("w", writer(2), 2, 3, "b"),
+            ]
+        )
+        with pytest.raises(SpecificationError):
+            check_swmr_atomicity(history)
+
+
+class TestTermination:
+    def test_all_complete_ok(self):
+        history = build_history([("r", R1, 0, 1, BOTTOM)])
+        op_id = history.operations[0].op_id
+        assert check_termination(history, [op_id]).ok
+
+    def test_missing_completion_flagged(self):
+        history = build_history([("r", R1, 0, None, None)])
+        op_id = history.operations[0].op_id
+        verdict = check_termination(history, [op_id])
+        assert not verdict.ok
+        assert op_id in verdict.culprits

@@ -1,0 +1,76 @@
+"""Property test: the two atomicity checkers agree.
+
+The SWMR checker implements Section 3.1's four conditions directly; the
+general checker searches for a linearization.  For single-writer
+histories these are equivalent definitions, so the verdicts must match
+on randomly generated histories — including nonsensical ones, which both
+must reject.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.ids import reader, writer
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.histories import BOTTOM, History, READ, WRITE
+from repro.spec.linearizability import check_linearizable
+
+
+@st.composite
+def swmr_histories(draw) -> History:
+    """Random single-writer histories with unique write values.
+
+    Per-process operations are sequential (as the model requires);
+    different processes interleave arbitrarily.  Read results are drawn
+    from the written values plus ⊥ plus a never-written value, so both
+    satisfying and violating histories are generated.
+    """
+    n_writes = draw(st.integers(min_value=0, max_value=3))
+    n_readers = draw(st.integers(min_value=1, max_value=2))
+    reads_per_reader = draw(st.integers(min_value=0, max_value=2))
+
+    history = History()
+    # Writer timeline: sequential, possibly with the last write pending.
+    time = 0.0
+    for k in range(n_writes):
+        start = time + draw(st.floats(min_value=0.1, max_value=2.0))
+        duration = draw(st.floats(min_value=0.1, max_value=4.0))
+        incomplete = k == n_writes - 1 and draw(st.booleans())
+        history.invoke(writer(1), WRITE, value=k + 1, at=start)
+        if not incomplete:
+            history.respond(writer(1), "ok", at=start + duration)
+        time = start + (0.0 if incomplete else duration)
+
+    values = [BOTTOM] + [k + 1 for k in range(n_writes)] + [999]
+    for r_index in range(1, n_readers + 1):
+        r_time = 0.0
+        for _ in range(reads_per_reader):
+            start = r_time + draw(st.floats(min_value=0.1, max_value=3.0))
+            duration = draw(st.floats(min_value=0.1, max_value=3.0))
+            history.invoke(reader(r_index), READ, at=start)
+            result = draw(st.sampled_from(values))
+            history.respond(reader(r_index), result, at=start + duration)
+            r_time = start + duration
+    return history
+
+
+@given(history=swmr_histories())
+@settings(max_examples=200, deadline=None)
+def test_checkers_agree_on_random_histories(history):
+    specialised = check_swmr_atomicity(history)
+    general = check_linearizable(history)
+    assert specialised.ok == general.ok, (
+        f"checkers disagree on:\n{history.describe()}\n"
+        f"swmr: {specialised.describe()}\ngeneral: {general.describe()}"
+    )
+
+
+@given(history=swmr_histories())
+@settings(max_examples=100, deadline=None)
+def test_atomic_implies_regular(history):
+    """Atomicity is strictly stronger than regularity."""
+    from repro.spec.regularity import check_swmr_regularity
+
+    if check_swmr_atomicity(history).ok:
+        assert check_swmr_regularity(history).ok

@@ -1,0 +1,106 @@
+"""Tests for the fastness analysis (Section 3.2)."""
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.ids import reader, writer
+from repro.sim.latency import UniformLatency
+from repro.sim.runtime import Simulation
+from repro.spec.fastness import (
+    analyze_operation,
+    check_all_fast,
+    client_rounds,
+    rounds_histogram,
+    server_replies_immediate,
+)
+
+
+def run(protocol, config, ops):
+    """Run a scripted list of (time, pid, kind, value) invocations."""
+    cluster = get_protocol(protocol).build(config)
+    sim = Simulation(seed=5, latency=UniformLatency(0.5, 1.5))
+    cluster.install(sim)
+    for time, pid, kind, value in ops:
+        sim.invoke_at(time, pid, kind, value)
+    sim.run()
+    return sim
+
+
+SWMR_OPS = [
+    (0.0, writer(1), "write", "a"),
+    (5.0, reader(1), "read", None),
+    (10.0, writer(1), "write", "b"),
+    (15.0, reader(2), "read", None),
+]
+
+
+class TestFastProtocolShapes:
+    def test_fast_crash_is_one_round(self):
+        sim = run("fast-crash", ClusterConfig(S=8, t=1, R=2), SWMR_OPS)
+        for op in sim.history.complete_operations:
+            assert client_rounds(sim.trace, op) == 1
+        assert check_all_fast(sim.trace, sim.history).ok
+
+    def test_abd_read_is_two_rounds(self):
+        sim = run("abd", ClusterConfig(S=5, t=2, R=2), SWMR_OPS)
+        hist = rounds_histogram(sim.trace, sim.history)
+        assert hist["read"] == {2: 2}
+        assert hist["write"] == {1: 2}
+        verdict = check_all_fast(sim.trace, sim.history)
+        assert not verdict.ok
+
+    def test_abd_writes_alone_are_fast(self):
+        sim = run("abd", ClusterConfig(S=5, t=2, R=2), SWMR_OPS)
+        assert check_all_fast(sim.trace, sim.history, kinds=("write",)).ok
+
+    def test_maxmin_read_one_client_round_but_not_fast(self):
+        """The paper's point: one client round is not enough — servers
+        must answer without waiting (maxmin servers gossip first)."""
+        sim = run("maxmin", ClusterConfig(S=5, t=2, R=2), SWMR_OPS)
+        reads = [op for op in sim.history.complete_operations if op.is_read]
+        for op in reads:
+            assert client_rounds(sim.trace, op) == 1
+            assert not server_replies_immediate(sim.trace, op)
+        assert not check_all_fast(sim.trace, sim.history).ok
+
+    def test_swsr_fast(self):
+        ops = [
+            (0.0, writer(1), "write", "a"),
+            (5.0, reader(1), "read", None),
+        ]
+        sim = run("swsr-fast", ClusterConfig(S=5, t=2, R=1), ops)
+        assert check_all_fast(sim.trace, sim.history).ok
+
+    def test_regular_fast(self):
+        sim = run("regular-fast", ClusterConfig(S=5, t=2, R=2), SWMR_OPS)
+        assert check_all_fast(sim.trace, sim.history).ok
+
+    def test_mwmr_baseline_not_fast(self):
+        ops = [
+            (0.0, writer(1), "write", 1),
+            (5.0, writer(2), "write", 2),
+            (10.0, reader(1), "read", None),
+        ]
+        sim = run("mwmr", ClusterConfig(S=5, t=2, R=2, W=2), ops)
+        hist = rounds_histogram(sim.trace, sim.history)
+        assert hist["write"] == {2: 2}
+        assert hist["read"] == {2: 1}
+
+
+class TestOpTiming:
+    def test_analyze_operation_fields(self):
+        config = ClusterConfig(S=8, t=1, R=2)
+        sim = run("fast-crash", config, SWMR_OPS)
+        read_op = next(op for op in sim.history.complete_operations if op.is_read)
+        timing = analyze_operation(sim.trace, read_op)
+        assert timing.client_rounds == 1
+        assert timing.messages_sent == config.S + config.S  # requests + acks
+        assert timing.servers_replied == config.S
+        assert timing.is_fast
+
+    def test_histogram_covers_all_complete_ops(self):
+        sim = run("fast-crash", ClusterConfig(S=8, t=1, R=2), SWMR_OPS)
+        hist = rounds_histogram(sim.trace, sim.history)
+        total = sum(n for per_kind in hist.values() for n in per_kind.values())
+        assert total == len(sim.history.complete_operations)

@@ -1,0 +1,155 @@
+"""Tests for operation histories."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.ids import reader, writer
+from repro.spec.histories import (
+    BOTTOM,
+    History,
+    READ,
+    WRITE,
+    value_written_by,
+)
+
+from tests.conftest import build_history
+
+
+class TestInvokeRespond:
+    def test_invoke_assigns_increasing_ids(self):
+        history = History()
+        first = history.invoke(writer(1), WRITE, value=1, at=0.0)
+        history.respond(writer(1), "ok", at=1.0)
+        second = history.invoke(writer(1), WRITE, value=2, at=2.0)
+        assert second.op_id > first.op_id
+
+    def test_one_pending_op_per_process(self):
+        history = History()
+        history.invoke(reader(1), READ, at=0.0)
+        with pytest.raises(SpecificationError):
+            history.invoke(reader(1), READ, at=1.0)
+
+    def test_different_processes_may_overlap(self):
+        history = History()
+        history.invoke(reader(1), READ, at=0.0)
+        history.invoke(reader(2), READ, at=0.5)
+        assert len(history.incomplete_operations) == 2
+
+    def test_respond_without_pending_rejected(self):
+        history = History()
+        with pytest.raises(SpecificationError):
+            history.respond(reader(1), 5, at=1.0)
+
+    def test_response_before_invocation_rejected(self):
+        history = History()
+        history.invoke(reader(1), READ, at=5.0)
+        with pytest.raises(SpecificationError):
+            history.respond(reader(1), 1, at=4.0)
+
+    def test_bottom_not_writable(self):
+        history = History()
+        with pytest.raises(SpecificationError):
+            history.invoke(writer(1), WRITE, value=BOTTOM, at=0.0)
+
+    def test_unknown_kind_rejected(self):
+        history = History()
+        with pytest.raises(SpecificationError):
+            history.invoke(reader(1), "scan", at=0.0)
+
+
+class TestPrecedence:
+    def test_precedes(self):
+        history = build_history(
+            [
+                ("w", writer(1), 0.0, 1.0, 5),
+                ("r", reader(1), 2.0, 3.0, 5),
+            ]
+        )
+        write_op, read_op = history.operations
+        assert write_op.precedes(read_op)
+        assert not read_op.precedes(write_op)
+
+    def test_concurrent(self):
+        history = build_history(
+            [
+                ("w", writer(1), 0.0, 2.0, 5),
+                ("r", reader(1), 1.0, 3.0, 5),
+            ]
+        )
+        write_op, read_op = history.operations
+        assert write_op.concurrent_with(read_op)
+        assert read_op.concurrent_with(write_op)
+
+    def test_incomplete_never_precedes(self):
+        history = build_history(
+            [
+                ("w", writer(1), 0.0, None, 5),
+                ("r", reader(1), 10.0, 11.0, BOTTOM),
+            ]
+        )
+        write_op, read_op = history.operations
+        assert not write_op.precedes(read_op)
+        assert write_op.concurrent_with(read_op)
+
+
+class TestViews:
+    def make(self):
+        return build_history(
+            [
+                ("w", writer(1), 0.0, 1.0, "a"),
+                ("r", reader(1), 2.0, 3.0, "a"),
+                ("w", writer(1), 4.0, None, "b"),
+            ]
+        )
+
+    def test_reads_and_writes(self):
+        history = self.make()
+        assert len(history.reads) == 1
+        assert len(history.writes) == 2
+
+    def test_complete_incomplete(self):
+        history = self.make()
+        assert len(history.complete_operations) == 2
+        assert len(history.incomplete_operations) == 1
+
+    def test_writes_in_order(self):
+        history = self.make()
+        values = [op.value for op in history.writes_in_order()]
+        assert values == ["a", "b"]
+
+    def test_single_writer_detection(self):
+        history = self.make()
+        assert history.single_writer()
+        multi = build_history(
+            [
+                ("w", writer(1), 0.0, 1.0, "a"),
+                ("w", writer(2), 2.0, 3.0, "b"),
+            ]
+        )
+        assert not multi.single_writer()
+
+    def test_describe_mentions_values(self):
+        text = self.make().describe()
+        assert "write('a')" in text
+        assert "-> 'a'" in text
+
+
+class TestValueWrittenBy:
+    def test_val_zero_is_bottom(self):
+        history = build_history([("w", writer(1), 0.0, 1.0, "a")])
+        assert value_written_by(history, 0) == BOTTOM
+
+    def test_val_k(self):
+        history = build_history(
+            [
+                ("w", writer(1), 0.0, 1.0, "a"),
+                ("w", writer(1), 2.0, 3.0, "b"),
+            ]
+        )
+        assert value_written_by(history, 1) == "a"
+        assert value_written_by(history, 2) == "b"
+
+    def test_out_of_range(self):
+        history = build_history([("w", writer(1), 0.0, 1.0, "a")])
+        with pytest.raises(SpecificationError):
+            value_written_by(history, 2)

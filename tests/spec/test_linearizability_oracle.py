@@ -1,0 +1,123 @@
+"""Cross-check the linearizability checker against a permutation oracle.
+
+For tiny histories we can afford the textbook definition verbatim:
+enumerate every subset of incomplete writes to retain, every
+interleaving of the chosen operations that respects real-time order,
+and replay register semantics.  The search-based checker must agree
+with this oracle on every randomly generated history.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.ids import reader, writer
+from repro.spec.histories import BOTTOM, History, READ, WRITE
+from repro.spec.linearizability import check_linearizable
+
+
+def oracle_linearizable(history: History) -> bool:
+    """Brute-force linearizability for histories of ~6 operations."""
+    complete = [op for op in history.operations if op.complete]
+    pending_writes = [
+        op for op in history.operations if not op.complete and op.is_write
+    ]
+
+    def respects_real_time(order) -> bool:
+        position = {op.op_id: index for index, op in enumerate(order)}
+        for a in order:
+            for b in order:
+                if a.precedes(b) and position[a.op_id] > position[b.op_id]:
+                    return False
+        return True
+
+    def register_ok(order) -> bool:
+        value = BOTTOM
+        for op in order:
+            if op.is_write:
+                value = op.value
+            elif op.result != value:
+                return False
+        return True
+
+    # Choose any subset of pending writes to take effect.
+    n = len(pending_writes)
+    for mask in range(1 << n):
+        chosen = complete + [
+            pending_writes[i] for i in range(n) if mask & (1 << i)
+        ]
+        for order in permutations(chosen):
+            if respects_real_time(order) and register_ok(order):
+                return True
+    return not complete  # empty effective history is trivially fine
+
+
+@st.composite
+def tiny_histories(draw) -> History:
+    history = History()
+    writers_pool = [writer(1), writer(2)]
+    readers_pool = [reader(1), reader(2)]
+    n_ops = draw(st.integers(min_value=1, max_value=5))
+    # Build per-process sequential timelines with random overlap.
+    next_free = {}
+    blocked = set()  # processes with a pending (incomplete) operation
+    values = [BOTTOM, 1, 2, 3]
+    write_count = 0
+    for _ in range(n_ops):
+        is_write = draw(st.booleans())
+        pool = [
+            proc
+            for proc in (writers_pool if is_write else readers_pool)
+            if proc not in blocked
+        ]
+        if not pool:
+            continue
+        proc = draw(st.sampled_from(pool))
+        start = max(next_free.get(proc, 0.0), 0.0) + draw(
+            st.floats(min_value=0.1, max_value=2.0)
+        )
+        duration = draw(st.floats(min_value=0.1, max_value=3.0))
+        incomplete = draw(st.integers(min_value=0, max_value=4)) == 0
+        if is_write:
+            write_count += 1
+            history.invoke(proc, WRITE, value=write_count, at=start)
+            if not incomplete:
+                history.respond(proc, "ok", at=start + duration)
+        else:
+            history.invoke(proc, READ, at=start)
+            if not incomplete:
+                result = draw(st.sampled_from(values))
+                history.respond(proc, result, at=start + duration)
+        if incomplete:
+            blocked.add(proc)
+        else:
+            next_free[proc] = start + duration
+    return history
+
+
+@given(history=tiny_histories())
+@settings(max_examples=200, deadline=None)
+def test_checker_agrees_with_permutation_oracle(history):
+    expected = oracle_linearizable(history)
+    actual = check_linearizable(history).ok
+    assert actual == expected, history.describe()
+
+
+def test_oracle_sanity_positive():
+    history = History()
+    history.invoke(writer(1), WRITE, value=1, at=0.0)
+    history.respond(writer(1), "ok", at=1.0)
+    history.invoke(reader(1), READ, at=2.0)
+    history.respond(reader(1), 1, at=3.0)
+    assert oracle_linearizable(history)
+
+
+def test_oracle_sanity_negative():
+    history = History()
+    history.invoke(writer(1), WRITE, value=1, at=0.0)
+    history.respond(writer(1), "ok", at=1.0)
+    history.invoke(reader(1), READ, at=2.0)
+    history.respond(reader(1), BOTTOM, at=3.0)
+    assert not oracle_linearizable(history)

@@ -1,0 +1,133 @@
+"""Tests for the regularity checker and inversion counter."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sim.ids import reader, writer
+from repro.spec.histories import BOTTOM
+from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
+
+from tests.conftest import build_history
+
+W = writer(1)
+R1, R2 = reader(1), reader(2)
+
+
+def check(ops):
+    return check_swmr_regularity(build_history(ops))
+
+
+class TestRegularity:
+    def test_last_preceding_write_allowed(self):
+        assert check([("w", W, 0, 1, "a"), ("r", R1, 2, 3, "a")]).ok
+
+    def test_initial_value_allowed_before_writes(self):
+        assert check([("r", R1, 0, 1, BOTTOM)]).ok
+
+    def test_stale_value_rejected(self):
+        assert not check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 3, "b"),
+                ("r", R1, 4, 5, "a"),
+            ]
+        ).ok
+
+    def test_concurrent_write_value_allowed(self):
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 10, "b"),
+                ("r", R1, 3, 4, "b"),
+            ]
+        ).ok
+        assert check(
+            [
+                ("w", W, 0, 1, "a"),
+                ("w", W, 2, 10, "b"),
+                ("r", R1, 3, 4, "a"),
+            ]
+        ).ok
+
+    def test_bottom_rejected_after_completed_write(self):
+        assert not check([("w", W, 0, 1, "a"), ("r", R1, 2, 3, BOTTOM)]).ok
+
+    def test_new_old_inversion_is_regular(self):
+        """The distinguishing case: regular allows what atomic forbids."""
+        ops = [
+            ("w", W, 0, 10, "b"),
+            ("w", W, -2, -1, "a"),  # completed earlier write
+            ("r", R1, 1, 2, "b"),
+            ("r", R2, 3, 4, "a"),
+        ]
+        history = build_history(ops)
+        assert check_swmr_regularity(history).ok
+        from repro.spec.atomicity import check_swmr_atomicity
+
+        assert not check_swmr_atomicity(history).ok
+
+    def test_unwritten_value_rejected(self):
+        assert not check([("w", W, 0, 10, "a"), ("r", R1, 1, 2, "ghost")]).ok
+
+    def test_incomplete_reads_ignored(self):
+        assert check([("w", W, 0, 1, "a"), ("r", R1, 2, None, None)]).ok
+
+    def test_multi_writer_rejected(self):
+        history = build_history(
+            [("w", writer(1), 0, 1, "a"), ("w", writer(2), 2, 3, "b")]
+        )
+        with pytest.raises(SpecificationError):
+            check_swmr_regularity(history)
+
+
+class TestInversionCounting:
+    def test_no_inversions(self):
+        count, pairs = count_new_old_inversions(
+            build_history(
+                [
+                    ("w", W, 0, 1, 1),
+                    ("r", R1, 2, 3, 1),
+                    ("r", R2, 4, 5, 1),
+                ]
+            )
+        )
+        assert count == 0
+        assert pairs == []
+
+    def test_counts_inversion_pair(self):
+        history = build_history(
+            [
+                ("w", W, 0, 1, 1),
+                ("w", W, 2, 20, 2),
+                ("r", R1, 3, 4, 2),
+                ("r", R2, 5, 6, 1),
+            ]
+        )
+        count, pairs = count_new_old_inversions(history)
+        assert count == 1
+        rd1 = history.operations[2].op_id
+        rd2 = history.operations[3].op_id
+        assert pairs == [(rd1, rd2)]
+
+    def test_concurrent_reads_not_counted(self):
+        history = build_history(
+            [
+                ("w", W, 0, 1, 1),
+                ("w", W, 2, 20, 2),
+                ("r", R1, 3, 10, 2),
+                ("r", R2, 4, 11, 1),
+            ]
+        )
+        count, _ = count_new_old_inversions(history)
+        assert count == 0
+
+    def test_bottom_counts_as_index_zero(self):
+        history = build_history(
+            [
+                ("w", W, 0, 20, 1),
+                ("r", R1, 1, 2, 1),
+                ("r", R2, 3, 4, BOTTOM),
+            ]
+        )
+        count, _ = count_new_old_inversions(history)
+        assert count == 1

@@ -1,0 +1,104 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.crash import CrashPlan
+from repro.registers.base import ClusterConfig
+from repro.sim.ids import server
+from repro.sim.latency import ConstantLatency
+from repro.workloads.generators import ClosedLoopWorkload
+from repro.workloads.runner import run_workload
+
+CONFIG = ClusterConfig(S=8, t=1, R=2)
+LIGHT = ClosedLoopWorkload(reads_per_reader=3, writes_per_writer=3)
+
+
+class TestRunWorkload:
+    def test_returns_complete_result(self):
+        result = run_workload("fast-crash", CONFIG, workload=LIGHT, seed=1)
+        assert result.protocol == "fast-crash"
+        assert len(result.history) == 3 * 2 + 3
+        assert result.events_executed > 0
+        assert result.messages_sent() > 0
+
+    def test_checks_available(self):
+        result = run_workload("fast-crash", CONFIG, workload=LIGHT, seed=1)
+        assert result.check_atomic().ok
+        assert result.check_fast().ok
+        assert result.check_regular().ok
+
+    def test_latency_lists(self):
+        result = run_workload(
+            "fast-crash",
+            CONFIG,
+            workload=LIGHT,
+            seed=1,
+            latency=ConstantLatency(1.0),
+        )
+        reads = result.read_latencies()
+        writes = result.write_latencies()
+        assert len(reads) == 6 and len(writes) == 3
+        # one round trip at constant latency 1.0 = exactly 2.0
+        assert all(abs(lat - 2.0) < 1e-6 for lat in reads + writes)
+
+    def test_abd_read_latency_doubles(self):
+        result = run_workload(
+            "abd",
+            ClusterConfig(S=5, t=2, R=2),
+            workload=LIGHT,
+            seed=1,
+            latency=ConstantLatency(1.0),
+        )
+        assert all(abs(lat - 4.0) < 1e-6 for lat in result.read_latencies())
+        assert all(abs(lat - 2.0) < 1e-6 for lat in result.write_latencies())
+
+    def test_enforce_rejects_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            run_workload("fast-crash", ClusterConfig(S=4, t=1, R=2))
+
+    def test_enforce_false_allows_infeasible(self):
+        result = run_workload(
+            "fast-crash",
+            ClusterConfig(S=4, t=1, R=2),
+            workload=LIGHT,
+            seed=1,
+            enforce=False,
+        )
+        # it runs; correctness beyond the threshold is not guaranteed,
+        # but this smooth random schedule happens to stay atomic
+        assert len(result.history.complete_operations) > 0
+
+    def test_crash_plan_validated(self):
+        plan = CrashPlan().add(server(1), 1.0).add(server(2), 2.0)
+        with pytest.raises(ConfigurationError):
+            run_workload("fast-crash", CONFIG, workload=LIGHT, crash_plan=plan)
+
+    def test_crash_plan_applied(self):
+        plan = CrashPlan().add(server(1), 0.5)
+        result = run_workload(
+            "fast-crash", CONFIG, workload=LIGHT, seed=2, crash_plan=plan
+        )
+        assert result.sim.process(server(1)).crashed
+        assert result.check_atomic().ok
+
+    def test_cluster_hook_runs(self):
+        seen = []
+        run_workload(
+            "fast-crash",
+            CONFIG,
+            workload=LIGHT,
+            cluster_hook=lambda cluster: seen.append(cluster.protocol),
+        )
+        assert seen == ["fast-crash"]
+
+    def test_trace_can_be_disabled(self):
+        result = run_workload(
+            "fast-crash", CONFIG, workload=LIGHT, record_trace=False
+        )
+        assert len(result.trace) == 0
+        assert result.check_atomic().ok  # history still recorded
+
+    def test_rounds_summary(self):
+        result = run_workload("fast-crash", CONFIG, workload=LIGHT, seed=1)
+        assert result.rounds() == {"read": {1: 6}, "write": {1: 3}}

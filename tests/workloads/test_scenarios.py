@@ -1,0 +1,57 @@
+"""Tests for canned scenarios."""
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.workloads.runner import run_workload
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+CONFIG = ClusterConfig(S=9, t=2, R=2)
+
+
+class TestScenarioCatalog:
+    def test_known_scenarios(self):
+        assert {"smoke", "read-heavy", "write-heavy", "contention", "faulty"} <= set(
+            SCENARIOS
+        )
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("outage")
+
+    def test_descriptions_present(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+    def test_crash_plans_respect_t(self):
+        for name in ("faulty", "worst-case-faults"):
+            scenario = get_scenario(name)
+            for seed in range(5):
+                plan = scenario.crash_plan(CONFIG, seed)
+                assert plan is not None
+                assert len(plan.server_crashes()) <= CONFIG.t
+
+    def test_crash_plan_deterministic(self):
+        scenario = get_scenario("faulty")
+        one = scenario.crash_plan(CONFIG, seed=3)
+        two = scenario.crash_plan(CONFIG, seed=3)
+        assert [(e.pid, e.at) for e in one.events] == [
+            (e.pid, e.at) for e in two.events
+        ]
+
+    def test_non_faulty_scenarios_have_no_plan(self):
+        assert get_scenario("smoke").crash_plan(CONFIG, seed=0) is None
+
+
+class TestScenarioRuns:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_runs_atomically_on_fast_crash(self, name):
+        scenario = get_scenario(name)
+        result = run_workload(
+            "fast-crash",
+            CONFIG,
+            workload=scenario.workload,
+            seed=7,
+            crash_plan=scenario.crash_plan(CONFIG, seed=7),
+        )
+        assert result.check_atomic().ok, (name, result.history.describe())
