@@ -1,0 +1,243 @@
+"""A faithful replica of the seed (pre-fast-path) simulation engine.
+
+The engine-throughput benchmark needs a "before" to compare the
+slot-based scheduler against.  This module preserves the seed revision's
+hot path byte-for-byte in behaviour:
+
+* a ``@dataclass(order=True)`` event record pushed onto the heap (heap
+  comparisons dispatch through the generated ``__lt__``),
+* one closure allocated per message delivery
+  (``queue.schedule(..., lambda: deliver(env))``),
+* per-message latency sampling through ``LatencyModel.delay``,
+* a non-slots frozen dataclass trace event recorded unconditionally for
+  every send/delivery/response (the seed default ``record_trace=True``
+  under which every figure benchmark ran).
+
+It reuses the live protocol automata, workload driver and history
+classes, so any measured difference is attributable to the scheduler,
+network and trace layers alone.  Keep this module in sync with nothing:
+it is a frozen snapshot, not production code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim import trace as tr
+from repro.sim.latency import LatencyModel
+from repro.sim.messages import Envelope
+from repro.sim.runtime import Simulation
+from repro.workloads.generators import ClosedLoopWorkload, WorkloadDriver
+
+
+@dataclass(order=True)
+class SeedEvent:
+    """The seed revision's heap record: ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class SeedEventQueue:
+    """The seed revision's closure-per-event priority queue."""
+
+    def __init__(self) -> None:
+        self._heap: List[SeedEvent] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, action: Callable[[], None], tag: str = "") -> SeedEvent:
+        if time < 0:
+            raise ValueError(f"cannot schedule an event at negative time {time}")
+        event = SeedEvent(time=time, seq=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[SeedEvent]:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+@dataclass(frozen=True)
+class SeedTraceEvent:
+    """The seed revision's (non-slots) trace record."""
+
+    seq: int
+    time: float
+    kind: str
+    pid: Any
+    step_id: int
+    cause_step: Optional[int] = None
+    env: Optional[Envelope] = None
+    op_id: Optional[int] = None
+    detail: Any = None
+
+
+class SeedTraceLog:
+    """The seed revision's always-on trace recorder (query-free subset)."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.events: List[SeedTraceEvent] = []
+        self._seq = itertools.count(1)
+        self._delivery_of_step = {}
+        self._send_step_of_env = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        pid: Any,
+        step_id: int,
+        cause_step: Optional[int] = None,
+        env: Optional[Envelope] = None,
+        op_id: Optional[int] = None,
+        detail: Any = None,
+    ) -> Optional[SeedTraceEvent]:
+        if not self.enabled:
+            return None
+        if env is not None and op_id is None:
+            op_id = env.op_id
+        event = SeedTraceEvent(
+            seq=next(self._seq),
+            time=time,
+            kind=kind,
+            pid=pid,
+            step_id=step_id,
+            cause_step=cause_step,
+            env=env,
+            op_id=op_id,
+            detail=detail,
+        )
+        self.events.append(event)
+        if kind == tr.SEND and env is not None:
+            self._send_step_of_env[env.env_id] = step_id
+        if kind == tr.DELIVER and env is not None:
+            self._delivery_of_step[step_id] = env
+        return event
+
+    def send_step_of(self, env: Envelope) -> Optional[int]:
+        return self._send_step_of_env.get(env.env_id)
+
+
+class SeedSimNetwork:
+    """The seed revision's transport: sample per message, schedule a closure."""
+
+    def __init__(self, queue, clock, deliver, latency, rng) -> None:
+        self._queue = queue
+        self._clock = clock
+        self._deliver = deliver
+        self._latency = latency
+        self._rng = rng
+        self._send_filters: List[Callable[[Envelope], bool]] = []
+        self.sent_count = 0
+        self.dropped_count = 0
+
+    def add_send_filter(self, keep) -> None:
+        self._send_filters.append(keep)
+
+    def submit(self, env: Envelope) -> None:
+        for keep in self._send_filters:
+            if not keep(env):
+                self.dropped_count += 1
+                return
+        self.sent_count += 1
+        delay = self._latency.delay(env.src, env.dst, self._rng)
+        deliver_at = self._clock.now + delay
+        self._queue.schedule(
+            deliver_at, lambda: self._deliver(env), tag=f"deliver:{env.env_id}"
+        )
+
+
+def seed_run_until_quiet(queue, clock, max_events: int = 1_000_000) -> int:
+    """The seed revision's peek/pop/advance/call event loop."""
+    executed = 0
+    while queue:
+        next_time = queue.peek_time()
+        if next_time is None:
+            break
+        event = queue.pop()
+        assert event is not None
+        clock.advance_to(event.time)
+        event.action()
+        executed += 1
+        if executed >= max_events:
+            raise RuntimeError(f"event budget of {max_events} exhausted")
+    return executed
+
+
+class SeedEngineSimulation(Simulation):
+    """A :class:`Simulation` driven by the seed scheduler/network/trace.
+
+    Built on the live runtime's dispatch and history layers so the
+    protocol behaviour is identical; only the event plumbing differs.
+    """
+
+    def __init__(self, seed: int = 0, latency: Optional[LatencyModel] = None) -> None:
+        super().__init__(seed=seed, latency=latency, record_trace=True)
+        from repro.sim.latency import ConstantLatency
+        from repro.sim.rng import substream
+
+        self.queue = SeedEventQueue()
+        self.trace = SeedTraceLog()
+        self._tracing = True
+        self.network = SeedSimNetwork(
+            queue=self.queue,
+            clock=self.clock,
+            deliver=self._dispatch,
+            latency=latency or ConstantLatency(),
+            rng=substream(seed, "latency"),
+        )
+        self._rebind_hot_paths()
+
+    def run(self, max_events: int = 1_000_000, deadline=None) -> int:
+        return seed_run_until_quiet(self.queue, self.clock, max_events)
+
+
+def run_seed_engine_workload(
+    protocol: str,
+    config: ClusterConfig,
+    workload: ClosedLoopWorkload,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    max_events: int = 2_000_000,
+):
+    """The seed-engine equivalent of :func:`repro.workloads.runner.run_workload`."""
+    spec = get_protocol(protocol)
+    cluster = spec.build(config, enforce=True)
+    sim = SeedEngineSimulation(seed=seed, latency=latency)
+    cluster.install(sim)
+    driver = WorkloadDriver(sim, config, workload, seed=seed)
+    driver.arm()
+    events = sim.run(max_events=max_events)
+    return sim, events

@@ -1,0 +1,187 @@
+"""Engine throughput: the slot-based scheduler vs the seed engine.
+
+Not a paper figure — this benchmark guards the *simulation substrate*
+that every figure benchmark and sweep stands on.  It runs the identical
+constant-latency fast-crash workload through
+
+* the **fast engine**: tuple-heap scheduler, jump-table dispatch,
+  pre-sampled latencies, cheap trace mode (``record_trace=False`` — the
+  configuration batch sweeps use), and
+* the **seed engine replica** (``benchmarks/_seed_engine.py``): the
+  pre-refactor closure-per-event scheduler with its always-on trace,
+  driving the same live protocol automata,
+
+and asserts the fast engine sustains at least **3x** the events/second
+of the seed engine.  Histories are asserted identical first, so the
+comparison is between two engines doing the same work (the golden-digest
+determinism tests in ``tests/sim/test_engine_golden.py`` pin the same
+property against recorded seed-revision digests).
+"""
+
+import time
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.sim.batch import BatchRunner, build_matrix, seed_matrix
+from repro.sim.latency import ConstantLatency
+from repro.workloads import ClosedLoopWorkload, run_workload
+
+from benchmarks._seed_engine import run_seed_engine_workload
+
+# Wide fan-out is the sweep regime this engine exists for: more servers
+# per operation means more messages per event loop turn.  fast-crash
+# needs S > (R + 2) t.
+CONFIG = ClusterConfig(S=24, t=1, R=10)
+WORKLOAD = ClosedLoopWorkload(reads_per_reader=60, writes_per_writer=30)
+LATENCY = ConstantLatency(1.0)
+SEED = 1
+
+#: Acceptance floor for the engine refactor (measured ~4x locally).
+MIN_SPEEDUP = 3.0
+
+
+def _fast_run():
+    return run_workload(
+        "fast-crash",
+        CONFIG,
+        workload=WORKLOAD,
+        seed=SEED,
+        latency=LATENCY,
+        record_trace=False,
+    )
+
+
+def _seed_run():
+    sim, events = run_seed_engine_workload(
+        "fast-crash", CONFIG, WORKLOAD, seed=SEED, latency=LATENCY
+    )
+    return sim, events
+
+
+def _events_per_sec(fn, events_of, repeats=5):
+    """Best-of-N events/second; min filters scheduler noise on shared
+    CI runners, where a single slow repetition is common."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return events_of(result) / best, result
+
+
+def _history_signature(history):
+    return [
+        (op.op_id, str(op.proc), op.kind, op.value, op.invoked_at,
+         op.result, op.responded_at)
+        for op in history.operations
+    ]
+
+
+def test_fast_engine_matches_seed_engine_history():
+    """Same seed, same workload => the two engines agree event for event."""
+    fast = _fast_run()
+    seed_sim, seed_events = _seed_run()
+    assert fast.events_executed == seed_events
+    assert _history_signature(fast.history) == _history_signature(seed_sim.history)
+
+
+def test_fast_engine_throughput_vs_seed(benchmark):
+    """The tentpole claim: >= 3x events/sec over the seed engine."""
+    fast_eps, fast_result = _events_per_sec(
+        _fast_run, lambda r: r.events_executed
+    )
+    seed_eps, _ = _events_per_sec(_seed_run, lambda r: r[1])
+    result = benchmark(_fast_run)
+    assert result.check_atomic().ok
+    speedup = fast_eps / seed_eps
+    benchmark.extra_info.update(
+        {
+            "fast_events_per_sec": round(fast_eps),
+            "seed_events_per_sec": round(seed_eps),
+            "speedup": round(speedup, 2),
+            "events": result.events_executed,
+        }
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine at {fast_eps:,.0f} ev/s is only {speedup:.2f}x the "
+        f"seed engine's {seed_eps:,.0f} ev/s (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_traced_engine_still_beats_seed(benchmark):
+    """With the full trace on, the new engine must not regress the seed."""
+
+    def traced():
+        return run_workload(
+            "fast-crash",
+            CONFIG,
+            workload=WORKLOAD,
+            seed=SEED,
+            latency=LATENCY,
+            record_trace=True,
+        )
+
+    traced_eps, _ = _events_per_sec(traced, lambda r: r.events_executed)
+    seed_eps, _ = _events_per_sec(_seed_run, lambda r: r[1])
+    result = benchmark(traced)
+    assert result.check_fast().ok
+    benchmark.extra_info.update(
+        {
+            "traced_events_per_sec": round(traced_eps),
+            "seed_events_per_sec": round(seed_eps),
+            "ratio": round(traced_eps / seed_eps, 2),
+        }
+    )
+    # Loose floor (locally ~1.5x): this guards against gross regression,
+    # and the slack absorbs shared-runner timing noise in CI.
+    assert traced_eps >= seed_eps * 0.75, (
+        f"traced fast engine ({traced_eps:,.0f} ev/s) regressed below the "
+        f"seed engine ({seed_eps:,.0f} ev/s)"
+    )
+
+
+def test_batch_runner_serial_matches_parallel(benchmark):
+    """Sweep determinism at benchmark scale: parallel == serial, byte for byte."""
+    specs = build_matrix(
+        protocols=["fast-crash"],
+        scenarios=["write-storm", "reader-churn"],
+        config=ClusterConfig(S=8, t=1, R=3),
+        seeds=seed_matrix(0, 4),
+    )
+    serial = BatchRunner(specs, parallel=1).run()
+    parallel = BatchRunner(specs, parallel=2).run()
+    assert serial.to_json() == parallel.to_json()
+    result = benchmark(lambda: BatchRunner(specs, parallel=1).run())
+    assert result.all_ok
+    total_events = sum(s.events for s in result.summaries)
+    benchmark.extra_info.update(
+        {
+            "runs": len(specs),
+            "total_events": total_events,
+            "runs_per_sec": round(len(specs) / result.elapsed, 2)
+            if result.elapsed
+            else None,
+        }
+    )
+
+
+def test_presampled_latency_stream_is_identical():
+    """Batched latency draws must not perturb seeded runs (spot check)."""
+    from repro.sim.latency import UniformLatency
+
+    config = ClusterConfig(S=8, t=1, R=3)
+    workload = ClosedLoopWorkload(reads_per_reader=20, writes_per_writer=10)
+    fast = run_workload(
+        "fast-crash", config, workload=workload, seed=5,
+        latency=UniformLatency(0.5, 1.5), record_trace=False,
+    )
+    seed_sim, _ = run_seed_engine_workload(
+        "fast-crash", config, workload, seed=5, latency=UniformLatency(0.5, 1.5)
+    )
+    assert _history_signature(fast.history) == _history_signature(seed_sim.history)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

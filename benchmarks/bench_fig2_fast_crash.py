@@ -16,7 +16,7 @@ import pytest
 from repro.registers.base import ClusterConfig
 from repro.workloads import ClosedLoopWorkload
 
-from benchmarks.conftest import HOP, MEDIUM, measured_run, read_write_means
+from benchmarks.conftest import measured_run, read_write_means
 
 CONFIG_FAST = ClusterConfig(S=8, t=1, R=3)
 CONFIG_MAJORITY = ClusterConfig(S=8, t=1, R=3)

@@ -11,7 +11,6 @@ construction is impossible (the block partition does not exist) at every
 feasible point — the theorem's "if and only if" as a table.
 """
 
-import pytest
 
 from repro.analysis.sweep import boundary_cases
 from repro.bounds.crash_construction import run_crash_lower_bound

@@ -11,7 +11,6 @@ every sampled grid point beyond the threshold, including the ``b = 0``
 degenerate case that collapses onto Proposition 5.
 """
 
-import pytest
 
 from repro.bounds.byzantine_construction import run_byzantine_lower_bound
 from repro.bounds.feasibility import construction_applies

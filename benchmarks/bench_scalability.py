@@ -19,7 +19,7 @@ from repro.analysis.metrics import latency_by_kind, throughput
 from repro.registers.base import ClusterConfig
 from repro.workloads import ClosedLoopWorkload
 
-from benchmarks.conftest import HOP, measured_run
+from benchmarks.conftest import measured_run
 
 
 def test_latency_vs_servers(benchmark):

@@ -22,9 +22,8 @@ from repro.registers.base import ClusterConfig
 from repro.registers.regular import requirement as regular_requirement
 from repro.registers.fast_crash import requirement as atomic_requirement
 from repro.spec.regularity import count_new_old_inversions
-from repro.workloads import ClosedLoopWorkload
 
-from benchmarks.conftest import HOP, measured_run, read_write_means
+from benchmarks.conftest import measured_run, read_write_means
 
 
 def test_feasibility_frontier_comparison(benchmark):

@@ -10,7 +10,6 @@ passes contention fuzzing at ``maxR`` and the matching construction
 violates atomicity at ``maxR + 1``.
 """
 
-import math
 
 import pytest
 

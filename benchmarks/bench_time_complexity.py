@@ -17,7 +17,7 @@ from repro.registers.base import ClusterConfig
 from repro.registers.registry import PROTOCOLS
 from repro.workloads import ClosedLoopWorkload
 
-from benchmarks.conftest import HOP, measured_run
+from benchmarks.conftest import measured_run
 
 CONFIGS = {
     "fast-crash": ClusterConfig(S=9, t=1, R=2),

@@ -17,7 +17,7 @@ implies.
 Run:  python examples/regular_vs_atomic.py
 """
 
-from repro import BOTTOM, ClusterConfig, run_workload
+from repro import BOTTOM, ClusterConfig
 from repro.analysis.tables import render_table
 from repro.bounds.feasibility import fast_feasible, max_readers, regular_fast_feasible
 from repro.registers.regular import build_cluster
@@ -25,7 +25,6 @@ from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, server, writer
 from repro.spec.atomicity import check_swmr_atomicity
 from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
-from repro.workloads import ClosedLoopWorkload
 
 
 def decision_table() -> None:

@@ -4,6 +4,7 @@ from repro.analysis.metrics import (
     LatencySummary,
     latencies,
     latency_by_kind,
+    merge_summaries,
     messages_per_operation,
     percentile,
     summarize,
@@ -19,6 +20,7 @@ __all__ = [
     "grid",
     "latencies",
     "latency_by_kind",
+    "merge_summaries",
     "messages_per_operation",
     "percentile",
     "render_table",

@@ -92,3 +92,33 @@ def messages_per_operation(total_messages: int, history: History) -> float:
     if complete == 0:
         return 0.0
     return total_messages / complete
+
+
+def merge_summaries(parts: Sequence[LatencySummary]) -> LatencySummary:
+    """Combine per-run summaries into one aggregate.
+
+    Counts, means and maxima merge exactly.  The percentiles of a merged
+    distribution are not recoverable from per-run percentiles, so p50,
+    p95 and p99 are count-weighted averages — a standard approximation
+    that is exact when the runs are identically distributed, which is
+    the seed-sweep case (same scenario, different seeds).  The merge is
+    deterministic in the order of ``parts``: batch runners feed it
+    summaries sorted by spec index so serial and parallel sweeps produce
+    identical aggregates.
+    """
+    parts = [part for part in parts if part.count > 0]
+    if not parts:
+        return summarize([])
+    total = sum(part.count for part in parts)
+
+    def weighted(attr: str) -> float:
+        return sum(getattr(part, attr) * part.count for part in parts) / total
+
+    return LatencySummary(
+        count=total,
+        mean=weighted("mean"),
+        p50=weighted("p50"),
+        p95=weighted("p95"),
+        p99=weighted("p99"),
+        maximum=max(part.maximum for part in parts),
+    )

@@ -10,7 +10,7 @@ end-to-end self-check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
 from repro.analysis.metrics import latency_by_kind

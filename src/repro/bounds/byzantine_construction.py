@@ -30,8 +30,7 @@ Proposition 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.bounds.blocks import Block, partition_byzantine
 from repro.bounds.crash_construction import ConstructionResult
@@ -42,7 +41,7 @@ from repro.registers.fast_byzantine import FastByzantineServer, build_cluster
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import ProcessId, reader, writer
 from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.histories import History, Operation
+from repro.spec.histories import Operation
 
 
 def run_byzantine_lower_bound(

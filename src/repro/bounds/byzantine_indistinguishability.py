@@ -21,8 +21,7 @@ holds *despite* unforgeable signatures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.bounds.blocks import Block, partition_byzantine
 from repro.bounds.indistinguishability import (

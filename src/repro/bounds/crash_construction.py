@@ -32,7 +32,7 @@ transit longer for some destinations, and nobody misbehaves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence
 
 from repro.bounds.blocks import Block, partition_crash
 from repro.errors import InfeasibleConstructionError

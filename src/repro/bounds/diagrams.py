@@ -10,7 +10,7 @@ visually comparable with the figures in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bounds.blocks import Block
 from repro.bounds.crash_construction import ConstructionResult

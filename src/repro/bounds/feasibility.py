@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List
 
 
 def fast_feasible(S: int, t: int, R: int, b: int = 0) -> bool:

@@ -24,7 +24,7 @@ transports that 1 to ``◊pr_R`` while ``pr^B``/``pr^D`` pin ``r_1`` to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.bounds.blocks import Block, partition_crash
 from repro.registers.base import ClusterConfig
@@ -32,7 +32,7 @@ from repro.registers.fast_crash import build_cluster
 from repro.registers import messages as msg
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import ProcessId, reader, writer
-from repro.spec.histories import BOTTOM, Operation
+from repro.spec.histories import Operation
 
 #: Fingerprint of one delivered ack: everything the reader's automaton
 #: can observe, minus run-local identifiers (op ids differ between runs

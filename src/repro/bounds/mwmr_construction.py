@@ -36,7 +36,7 @@ from repro.errors import InfeasibleConstructionError
 from repro.registers.base import Cluster, ClusterConfig
 from repro.registers.registry import get_protocol
 from repro.sim.controller import ScriptedExecution
-from repro.sim.ids import ProcessId, reader, servers, writer
+from repro.sim.ids import reader, servers, writer
 from repro.spec.histories import History, Verdict
 from repro.spec.linearizability import check_linearizable, check_mwmr_p1_p2
 

@@ -9,6 +9,8 @@ the library's main artefacts without writing code:
 * ``repro lower-bound crash|byzantine|mwmr`` — execute an impossibility
   construction and print the violating history and block diagram.
 * ``repro compare`` — latency/round comparison across protocols.
+* ``repro sweep`` — batched protocol x scenario x seed sweeps, optionally
+  fanned across worker processes (``--parallel N``).
 """
 
 from __future__ import annotations
@@ -27,9 +29,24 @@ from repro.bounds.feasibility import max_readers
 from repro.bounds.mwmr_construction import run_mwmr_impossibility
 from repro.registers.base import ClusterConfig
 from repro.registers.registry import PROTOCOLS
-from repro.sim.latency import UniformLatency
+from repro.sim.batch import BatchRunner, build_matrix, seed_matrix
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
 from repro.workloads.generators import ClosedLoopWorkload
 from repro.workloads.runner import run_workload
+from repro.workloads.scenarios import SCENARIOS
+
+#: Latency model factories selectable from the command line.
+LATENCIES = {
+    "constant": lambda: ConstantLatency(1.0),
+    "uniform": lambda: UniformLatency(0.5, 1.5),
+    "exponential": lambda: ExponentialLatency(mean=1.0),
+    "lognormal": lambda: LogNormalLatency(median=1.0, sigma=0.5),
+}
 
 
 def _cmd_protocols(args: argparse.Namespace) -> int:
@@ -165,6 +182,42 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = ClusterConfig(
+        S=args.servers, t=args.t, R=args.readers, W=args.writers
+    )
+    specs = build_matrix(
+        protocols=args.protocols,
+        scenarios=args.scenarios,
+        config=config,
+        seeds=seed_matrix(args.seed, args.seeds),
+        latency=LATENCIES[args.latency](),
+        max_events=args.max_events,
+        check=not args.no_check,
+    )
+    if not specs:
+        print(
+            "no feasible (protocol, config) combinations in this sweep",
+            file=sys.stderr,
+        )
+        return 2
+    runner = BatchRunner(specs, parallel=args.parallel)
+    result = runner.run()
+    # Progress/timing go to stderr: stdout must be byte-identical
+    # between serial and parallel runs of the same matrix.
+    rate = len(specs) / result.elapsed if result.elapsed > 0 else 0.0
+    print(
+        f"ran {len(specs)} simulations on {result.parallel} worker(s) "
+        f"in {result.elapsed:.2f}s ({rate:.1f} runs/s)",
+        file=sys.stderr,
+    )
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0 if result.all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -227,6 +280,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROTOCOLS),
     )
     cmp_.set_defaults(fn=_cmd_compare)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a protocol x scenario x seed matrix, optionally in parallel",
+    )
+    swp.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["fast-crash", "abd"],
+        choices=sorted(PROTOCOLS),
+    )
+    swp.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["smoke", "write-storm", "reader-churn"],
+        choices=sorted(SCENARIOS),
+    )
+    swp.add_argument("--servers", type=int, default=8)
+    swp.add_argument("--t", type=int, default=1)
+    swp.add_argument("--readers", type=int, default=3)
+    swp.add_argument("--writers", type=int, default=1)
+    swp.add_argument("--seed", type=int, default=0, help="root seed of the matrix")
+    swp.add_argument("--seeds", type=int, default=4, help="seeds per combination")
+    swp.add_argument(
+        "--parallel", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    swp.add_argument(
+        "--latency", default="constant", choices=sorted(LATENCIES)
+    )
+    swp.add_argument("--format", default="table", choices=["table", "json"])
+    swp.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip atomicity checking (pure throughput sweeps)",
+    )
+    swp.add_argument("--max-events", type=int, default=2_000_000)
+    swp.set_defaults(fn=_cmd_sweep)
 
     return parser
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict
 
 from repro.errors import SignatureError
 from repro.sim.ids import ProcessId

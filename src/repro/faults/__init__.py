@@ -13,7 +13,10 @@ from repro.faults.crash import (
     CrashEvent,
     CrashPlan,
     crash_writer_mid_write,
+    merge_plans,
+    random_reader_crashes,
     random_server_crashes,
+    server_crash_burst,
 )
 
 __all__ = [
@@ -26,6 +29,9 @@ __all__ = [
     "StaleReplayServer",
     "TwoFacedServer",
     "crash_writer_mid_write",
+    "merge_plans",
+    "random_reader_crashes",
     "random_server_crashes",
     "run_captured",
+    "server_crash_burst",
 ]

@@ -25,7 +25,7 @@ algorithm is proved against:
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, List, Tuple
 
 from repro.crypto.signatures import SignatureAuthority
 from repro.errors import ProtocolError

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.registers.base import ClusterConfig
@@ -71,6 +71,68 @@ def random_server_crashes(
     for pid in victims:
         plan.add(pid, rng.uniform(0.0, window))
     return plan
+
+
+def random_reader_crashes(
+    config: ClusterConfig,
+    rng: random.Random,
+    fraction: float = 0.5,
+    window: float = 50.0,
+) -> CrashPlan:
+    """Crash a random ``fraction`` of the readers within ``[0, window]``.
+
+    The model allows any number of *client* crashes (only server crashes
+    count against ``t``), so churny populations — readers that come, read
+    a while and silently vanish — are a legal and realistic workload for
+    protocols whose server state tracks readers (the ``seen`` sets of
+    Figure 2 grow per answered reader and must tolerate answered readers
+    never returning).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    count = int(len(config.reader_ids) * fraction)
+    victims = rng.sample(config.reader_ids, count)
+    plan = CrashPlan()
+    for pid in victims:
+        plan.add(pid, rng.uniform(0.0, window))
+    return plan
+
+
+def server_crash_burst(
+    config: ClusterConfig,
+    rng: random.Random,
+    count: Optional[int] = None,
+    start_window: float = 30.0,
+    width: float = 2.0,
+) -> CrashPlan:
+    """Crash ``count`` (default: exactly ``t``) servers nearly at once.
+
+    All crashes land inside ``[start, start + width]`` for a random
+    ``start`` — the correlated-failure burst (rack power loss, rolling
+    deploy gone wrong) that stresses quorum waits much harder than
+    crashes spread uniformly over the run, because every in-flight
+    operation loses ``count`` replies simultaneously.
+    """
+    if count is None:
+        count = config.t
+    if count > config.t:
+        raise ConfigurationError(f"cannot crash {count} > t={config.t} servers")
+    if width < 0:
+        raise ConfigurationError(f"burst width must be non-negative, got {width}")
+    start = rng.uniform(0.0, start_window)
+    victims = rng.sample(config.server_ids, count)
+    plan = CrashPlan()
+    for pid in victims:
+        plan.add(pid, start + rng.uniform(0.0, width))
+    return plan
+
+
+def merge_plans(*plans: CrashPlan) -> CrashPlan:
+    """Combine several crash plans into one (events concatenated in order)."""
+    merged = CrashPlan()
+    for plan in plans:
+        merged.events.extend(plan.events)
+    return merged
 
 
 def crash_writer_mid_write(

@@ -26,7 +26,7 @@ by fuzzing ``NoCounterServer`` under message reordering.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Callable, Dict, List, Type
 
 from repro.registers import messages as msg
 from repro.registers.base import Cluster, ClusterConfig
@@ -39,7 +39,7 @@ from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import ProcessId, client_index, reader, server, servers, writer
 from repro.sim.process import Context
 from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.histories import BOTTOM, History, Verdict
+from repro.spec.histories import History, Verdict
 
 
 class EagerReader(FastCrashReader):

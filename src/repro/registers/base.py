@@ -12,8 +12,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Dict, List, Optional
 
 from repro.crypto.signatures import SignatureAuthority
 from repro.errors import ConfigurationError
@@ -62,19 +63,24 @@ class ClusterConfig:
         """Replies a client may wait for: ``S - t`` (Section 3.2)."""
         return self.S - self.t
 
-    @property
+    # The id lists are cached: clients multicast to ``server_ids`` on
+    # every operation, and rebuilding S ProcessIds per invocation showed
+    # up in engine profiles.  Callers must not mutate the returned lists
+    # (the config is conceptually frozen).
+
+    @cached_property
     def server_ids(self) -> List[ProcessId]:
         return ids.servers(self.S)
 
-    @property
+    @cached_property
     def reader_ids(self) -> List[ProcessId]:
         return ids.readers(self.R)
 
-    @property
+    @cached_property
     def writer_ids(self) -> List[ProcessId]:
         return ids.writers(self.W)
 
-    @property
+    @cached_property
     def client_ids(self) -> List[ProcessId]:
         return self.writer_ids + self.reader_ids
 

@@ -78,7 +78,14 @@ class FastCrashServer(Process):
         self.counter: Dict[int, int] = {}
 
     def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
-        if not isinstance(payload, (msg.FastRead, msg.FastWrite)):
+        # Exact-type dispatch: the request payloads are final frozen
+        # dataclasses, and this handler runs once per request message.
+        kind = type(payload)
+        if kind is msg.FastRead:
+            ack_type = msg.FastReadAck
+        elif kind is msg.FastWrite:
+            ack_type = msg.FastWriteAck
+        else:
             return
         cidx = client_index(src)
         if payload.r_counter < self.counter.get(cidx, 0):
@@ -89,7 +96,6 @@ class FastCrashServer(Process):
         else:
             self.seen.add(src)
         self.counter[cidx] = payload.r_counter
-        ack_type = msg.FastReadAck if isinstance(payload, msg.FastRead) else msg.FastWriteAck
         ctx.send(
             src,
             ack_type(

@@ -26,10 +26,10 @@ from repro.registers.base import (
     RegisterClient,
     StorageServer,
 )
-from repro.registers.timestamps import INITIAL_MW_TAG, MWTimestamp, ValueTag
+from repro.registers.timestamps import INITIAL_MW_TAG, ValueTag
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context
-from repro.spec.histories import BOTTOM, Operation
+from repro.spec.histories import Operation
 
 PROTOCOL_NAME = "mwmr"
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import combinations
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.sim.ids import ProcessId
 

@@ -8,7 +8,7 @@ the same power the proofs give the adversary.
 """
 
 from repro.sim.controller import ScriptedExecution
-from repro.sim.events import Event, EventQueue, VirtualClock, run_until_quiet
+from repro.sim.events import CALL, DELIVER, Event, EventQueue, VirtualClock, run_until_quiet
 from repro.sim.ids import (
     READER,
     SERVER,
@@ -31,16 +31,19 @@ from repro.sim.latency import (
     PerLinkLatency,
     SlowServerLatency,
     UniformLatency,
+    VectorLatency,
 )
 from repro.sim.messages import Envelope
 from repro.sim.network import HeldNetwork, SimNetwork
 from repro.sim.process import ClientProcess, Context, Process
 from repro.sim.rng import derive_seed, substream
 from repro.sim.runtime import Simulation
-from repro.sim.trace import TraceEvent, TraceLog
+from repro.sim.trace import NullTraceLog, TraceEvent, TraceLog
 
 __all__ = [
+    "CALL",
     "ClientProcess",
+    "DELIVER",
     "ConstantLatency",
     "Context",
     "Envelope",
@@ -50,6 +53,7 @@ __all__ = [
     "HeldNetwork",
     "LatencyModel",
     "LogNormalLatency",
+    "NullTraceLog",
     "PerLinkLatency",
     "Process",
     "ProcessId",
@@ -62,6 +66,7 @@ __all__ = [
     "TraceEvent",
     "TraceLog",
     "UniformLatency",
+    "VectorLatency",
     "VirtualClock",
     "WRITER",
     "client_index",

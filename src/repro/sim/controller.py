@@ -15,7 +15,7 @@ free-running :class:`~repro.sim.runtime.Simulation` run here unchanged.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.errors import ScheduleError, SimulationError
 from repro.sim import trace as tr

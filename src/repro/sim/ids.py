@@ -95,9 +95,10 @@ def client_index(pid: ProcessId) -> int:
     Maps the writer to ``0`` and reader ``ri`` to ``i``.  Servers have no
     client index; passing one is a programming error.
     """
-    if pid.is_writer:
+    kind = pid.kind
+    if kind == WRITER:
         return 0
-    if pid.is_reader:
+    if kind == READER:
         return pid.index
     raise ValueError(f"{pid} is a server; servers have no client index")
 

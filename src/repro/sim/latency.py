@@ -7,6 +7,26 @@ model maps ``(src, dst, rng)`` to a one-way delay in virtual time units.
 All models guarantee a strictly positive delay so that a message is never
 delivered in the step that sent it (the paper's steps are atomic: send
 and receive are distinct steps).
+
+Fast path
+---------
+
+The network transport asks a model three questions so it can skip work
+per message:
+
+* :meth:`LatencyModel.constant_delay` — a fixed delay (no RNG at all)?
+* :attr:`LatencyModel.link_invariant` — is the distribution independent
+  of ``(src, dst)``?  If so delays can be *pre-sampled in batches*
+  (:meth:`delays`) and handed out one per message.
+* otherwise the per-message :meth:`delay` path is used.
+
+Batch sampling draws from the **same** ``random.Random`` stream, in the
+same order, as per-message sampling would — message *i* receives the
+*i*-th draw either way — so switching the engine to batches changes no
+history.  (True numpy vectorisation would use a different generator and
+silently change every seeded run; :class:`VectorLatency` offers it as an
+explicit opt-in for throughput sweeps that don't need stream
+compatibility.)
 """
 
 from __future__ import annotations
@@ -14,7 +34,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.ids import ProcessId
@@ -25,8 +45,23 @@ _MIN_DELAY = 1e-9
 class LatencyModel:
     """Base class: override :meth:`sample`."""
 
+    #: True when the distribution ignores ``(src, dst)`` — enables the
+    #: pre-sampled batch fast path in the network transport.
+    link_invariant = False
+
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         raise NotImplementedError
+
+    def sample_batch(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        """``n`` raw draws, identical in sequence to ``n`` :meth:`sample` calls."""
+        sample = self.sample
+        return [sample(src, dst, rng) for _ in range(n)]
+
+    def constant_delay(self) -> Optional[float]:
+        """The clamped fixed delay if the model is deterministic, else None."""
+        return None
 
     def delay(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         """Sample and clamp to the minimum positive delay."""
@@ -35,6 +70,18 @@ class LatencyModel:
             raise ConfigurationError(f"latency model produced {value!r}")
         return max(value, _MIN_DELAY)
 
+    def delays(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        """``n`` clamped delays — the batched equivalent of :meth:`delay`."""
+        out = self.sample_batch(src, dst, rng, n)
+        for i, value in enumerate(out):
+            if math.isnan(value) or math.isinf(value):
+                raise ConfigurationError(f"latency model produced {value!r}")
+            if value < _MIN_DELAY:
+                out[i] = _MIN_DELAY
+        return out
+
 
 @dataclass
 class ConstantLatency(LatencyModel):
@@ -42,12 +89,17 @@ class ConstantLatency(LatencyModel):
 
     delay_value: float = 1.0
 
+    link_invariant = True
+
     def __post_init__(self) -> None:
         if self.delay_value <= 0:
             raise ConfigurationError("constant latency must be positive")
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         return self.delay_value
+
+    def constant_delay(self) -> Optional[float]:
+        return max(self.delay_value, _MIN_DELAY)
 
 
 @dataclass
@@ -57,6 +109,8 @@ class UniformLatency(LatencyModel):
     low: float = 0.5
     high: float = 1.5
 
+    link_invariant = True
+
     def __post_init__(self) -> None:
         if self.low <= 0 or self.high < self.low:
             raise ConfigurationError(
@@ -65,6 +119,12 @@ class UniformLatency(LatencyModel):
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sample_batch(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        uniform, low, high = rng.uniform, self.low, self.high
+        return [uniform(low, high) for _ in range(n)]
 
 
 @dataclass
@@ -80,12 +140,20 @@ class ExponentialLatency(LatencyModel):
     mean: float = 1.0
     floor: float = 0.05
 
+    link_invariant = True
+
     def __post_init__(self) -> None:
         if self.mean <= 0 or self.floor < 0:
             raise ConfigurationError("exponential latency needs mean > 0, floor >= 0")
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def sample_batch(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        expovariate, rate, floor = rng.expovariate, 1.0 / self.mean, self.floor
+        return [floor + expovariate(rate) for _ in range(n)]
 
 
 @dataclass
@@ -95,12 +163,20 @@ class LogNormalLatency(LatencyModel):
     median: float = 1.0
     sigma: float = 0.5
 
+    link_invariant = True
+
     def __post_init__(self) -> None:
         if self.median <= 0 or self.sigma < 0:
             raise ConfigurationError("lognormal latency needs median > 0, sigma >= 0")
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def sample_batch(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        lognormvariate, mu, sigma = rng.lognormvariate, math.log(self.median), self.sigma
+        return [lognormvariate(mu, sigma) for _ in range(n)]
 
 
 @dataclass
@@ -144,3 +220,56 @@ class SlowServerLatency(LatencyModel):
         if src in self.slow or dst in self.slow:
             value *= self.factor
         return value
+
+
+class VectorLatency(LatencyModel):
+    """Numpy-vectorised latency draws — an explicit speed/compat trade.
+
+    Each batch draws from a ``numpy.random.Generator`` seeded off the
+    ``random.Random`` handed in (consuming one 64-bit draw from it), so
+    runs are deterministic per seed and the model instance itself is
+    stateless — safe to share across sweep specs — but the values are
+    **not** the same stream a scalar model would produce.  Use for
+    pure-throughput sweeps where only the distribution matters; never
+    for golden-history comparisons.
+
+    Args:
+        kind: ``"uniform"``, ``"exponential"`` or ``"lognormal"``.
+        a, b: distribution parameters — ``(low, high)`` for uniform,
+            ``(mean, floor)`` for exponential, ``(median, sigma)`` for
+            lognormal.
+    """
+
+    link_invariant = True
+
+    _KINDS = ("uniform", "exponential", "lognormal")
+
+    def __init__(self, kind: str = "uniform", a: float = 0.5, b: float = 1.5) -> None:
+        if kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown vector latency kind {kind!r}; known: {self._KINDS}"
+            )
+        self.kind = kind
+        self.a = a
+        self.b = b
+
+    @staticmethod
+    def _gen(rng: random.Random):
+        import numpy as np
+
+        return np.random.default_rng(rng.getrandbits(64))
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        return self.sample_batch(src, dst, rng, 1)[0]
+
+    def sample_batch(
+        self, src: ProcessId, dst: ProcessId, rng: random.Random, n: int
+    ) -> List[float]:
+        gen = self._gen(rng)
+        if self.kind == "uniform":
+            values = gen.uniform(self.a, self.b, n)
+        elif self.kind == "exponential":
+            values = self.b + gen.exponential(self.a, n)
+        else:
+            values = gen.lognormal(math.log(self.a), self.b, n)
+        return values.tolist()

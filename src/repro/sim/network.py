@@ -19,13 +19,18 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ScheduleError
-from repro.sim.events import EventQueue, VirtualClock
+from repro.sim.events import DELIVER, EventQueue, VirtualClock
 from repro.sim.ids import ProcessId
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.messages import Envelope
 
 DeliveryCallback = Callable[[Envelope], None]
 SendFilter = Callable[[Envelope], bool]
+
+#: How many delays to pre-sample per refill of the fast-path buffer.
+#: Draw order equals consumption (send) order, so batching never changes
+#: which delay a given message receives.
+PRESAMPLE_BATCH = 1024
 
 
 class SimNetwork:
@@ -34,6 +39,11 @@ class SimNetwork:
     ``send_filters`` may drop messages at send time (used for fault
     injection, e.g. a sender crashing mid-multicast); a dropped message
     is reported through ``on_drop`` so traces stay complete.
+
+    Deliveries go onto the queue as raw ``DELIVER`` entries dispatched
+    through the queue's jump table — no closure per message.  For
+    link-invariant latency models the per-message delays are pre-sampled
+    in batches; constant models skip the RNG entirely.
     """
 
     def __init__(
@@ -57,30 +67,46 @@ class SimNetwork:
         self._last_delivery: Dict[Tuple[ProcessId, ProcessId], float] = {}
         self.sent_count = 0
         self.dropped_count = 0
+        self._const_delay = self._latency.constant_delay()
+        self._batchable = self._latency.link_invariant and self._const_delay is None
+        self._presampled: List[float] = []
+        self._push = queue.push
+        queue.set_handler(DELIVER, deliver)
 
     def add_send_filter(self, keep: SendFilter) -> None:
         """Register a predicate; a message is dropped unless all keep it."""
         self._send_filters.append(keep)
 
     def submit(self, env: Envelope) -> None:
-        for keep in self._send_filters:
-            if not keep(env):
-                self.dropped_count += 1
-                if self._on_drop is not None:
-                    self._on_drop(env)
-                return
+        if self._send_filters:
+            for keep in self._send_filters:
+                if not keep(env):
+                    self.dropped_count += 1
+                    if self._on_drop is not None:
+                        self._on_drop(env)
+                    return
         self.sent_count += 1
-        delay = self._latency.delay(env.src, env.dst, self._rng)
-        deliver_at = self._clock.now + delay
+        delay = self._const_delay
+        if delay is None:
+            if self._batchable:
+                buffer = self._presampled
+                if not buffer:
+                    buffer = self._latency.delays(
+                        env.src, env.dst, self._rng, PRESAMPLE_BATCH
+                    )
+                    buffer.reverse()  # consume in draw order via pop()
+                    self._presampled = buffer
+                delay = buffer.pop()
+            else:
+                delay = self._latency.delay(env.src, env.dst, self._rng)
+        deliver_at = self._clock._now + delay
         if self._fifo:
             link = (env.src, env.dst)
             floor = self._last_delivery.get(link, 0.0)
             if deliver_at <= floor:
                 deliver_at = floor + 1e-9
             self._last_delivery[link] = deliver_at
-        self._queue.schedule(
-            deliver_at, lambda: self._deliver(env), tag=f"deliver:{env.env_id}"
-        )
+        self._push(deliver_at, DELIVER, env)
 
 
 class HeldNetwork:

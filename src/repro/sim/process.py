@@ -24,9 +24,12 @@ class Context:
     """Capabilities handed to an automaton for the duration of one step.
 
     The context is how an automaton acts on the world: sending messages
-    and (for clients) completing the pending operation.  It is created by
-    the runtime per step, so automata must not store it.
+    and (for clients) completing the pending operation.  It is provided
+    by the runtime per step — and may be a recycled object rebound to the
+    new step — so automata must not store it.
     """
+
+    __slots__ = ("_runtime", "_pid", "_step_id")
 
     def __init__(self, runtime: "RuntimeCore", pid: ProcessId, step_id: int) -> None:
         self._runtime = runtime

@@ -23,7 +23,7 @@ greedy assignment exists iff any assignment exists.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.errors import SpecificationError
 from repro.spec.histories import BOTTOM, History, Operation, Verdict

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.ids import ProcessId
 from repro.sim.trace import DELIVER, SEND, TraceLog
 from repro.spec.histories import History, Operation, Verdict
 

@@ -9,8 +9,8 @@ functions of the history alone, per Section 3 of the paper.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SpecificationError
 from repro.sim.ids import ProcessId

@@ -16,7 +16,7 @@ by tests and constructions fast to check.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, FrozenSet, List, Optional, Set, Tuple
 
 from repro.spec.histories import BOTTOM, History, Operation, Verdict
 

@@ -13,8 +13,8 @@ offsets come from per-client substreams.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.registers.base import ClusterConfig
 from repro.sim.ids import ProcessId
@@ -37,12 +37,21 @@ class ClosedLoopWorkload:
         contention: with 0 think time and 0 spread every operation
             overlaps — a convenience flag benchmarks use to stress
             concurrent read/write orderings.
+        burst_size: operations per burst.  Within a burst the next
+            operation fires immediately on response; the think-time draw
+            happens only between bursts.  ``1`` (the default) is the
+            classic closed loop and draws exactly as before.
     """
 
     reads_per_reader: int = 10
     writes_per_writer: int = 10
     think_time_mean: float = 2.0
     start_spread: float = 5.0
+    burst_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1, got {self.burst_size}")
 
     @staticmethod
     def contention(ops: int = 10) -> "ClosedLoopWorkload":
@@ -52,6 +61,25 @@ class ClosedLoopWorkload:
             writes_per_writer=ops,
             think_time_mean=0.0,
             start_spread=0.0,
+        )
+
+    @staticmethod
+    def bursty(
+        ops: int = 20, burst_size: int = 5, pause_mean: float = 4.0
+    ) -> "ClosedLoopWorkload":
+        """Operations arrive in back-to-back bursts separated by pauses.
+
+        Within a burst the client re-invokes immediately after each
+        response; after ``burst_size`` operations it idles for an
+        exponential pause.  This is the on/off arrival shape of real
+        clients (page loads, batch jobs) and produces short windows of
+        intense contention instead of a uniform trickle.
+        """
+        return ClosedLoopWorkload(
+            reads_per_reader=ops,
+            writes_per_writer=ops,
+            think_time_mean=pause_mean,
+            burst_size=burst_size,
         )
 
 
@@ -79,6 +107,7 @@ class WorkloadDriver:
         self._remaining: Dict[ProcessId, int] = {}
         self._rng_of: Dict[ProcessId, random.Random] = {}
         self._write_counters: Dict[ProcessId, int] = {}
+        self._in_burst: Dict[ProcessId, int] = {}
 
     def arm(self) -> None:
         """Schedule the first operation of every client and register the
@@ -116,6 +145,18 @@ class WorkloadDriver:
         pid = op.proc
         if self._remaining.get(pid, 0) <= 0:
             return
+        burst = self.workload.burst_size
+        if burst > 1:
+            done = self._in_burst.get(pid, 0) + 1
+            if done < burst:
+                # mid-burst: fire again immediately, no think-time draw
+                self._in_burst[pid] = done
+                self.sim.at(
+                    self.sim.now, lambda pid=pid: self._fire(pid),
+                    tag=f"workload:{pid}",
+                )
+                return
+            self._in_burst[pid] = 0
         rng = self._rng_of[pid]
         think = (
             rng.expovariate(1.0 / self.workload.think_time_mean)

@@ -12,7 +12,13 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.faults.crash import CrashPlan, random_server_crashes
+from repro.faults.crash import (
+    CrashPlan,
+    merge_plans,
+    random_reader_crashes,
+    random_server_crashes,
+    server_crash_burst,
+)
 from repro.registers.base import ClusterConfig
 from repro.sim.rng import substream
 from repro.workloads.generators import ClosedLoopWorkload
@@ -41,6 +47,16 @@ def _crash_up_to_t(config: ClusterConfig, rng: random.Random) -> CrashPlan:
 
 def _crash_exactly_t(config: ClusterConfig, rng: random.Random) -> CrashPlan:
     return random_server_crashes(config, rng, count=config.t, window=40.0)
+
+
+def _reader_churn(config: ClusterConfig, rng: random.Random) -> CrashPlan:
+    return random_reader_crashes(config, rng, fraction=0.5, window=60.0)
+
+
+def _fault_burst(config: ClusterConfig, rng: random.Random) -> CrashPlan:
+    servers = server_crash_burst(config, rng, count=config.t, start_window=25.0, width=2.0)
+    readers = random_reader_crashes(config, rng, fraction=0.25, window=50.0)
+    return merge_plans(servers, readers)
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -86,6 +102,38 @@ SCENARIOS: Dict[str, Scenario] = {
             reads_per_reader=12, writes_per_writer=8, think_time_mean=1.5
         ),
         crash_factory=_crash_exactly_t,
+    ),
+    # ------------------------------------------------------------------
+    # high-load sweep scenarios: the shapes the batched seed-sweep
+    # runner grinds through at scale (see repro.sim.batch).
+    "reader-churn": Scenario(
+        name="reader-churn",
+        description="Heavy read load while half the readers vanish mid-run: "
+        "servers keep 'seen' state for readers that never return.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=40, writes_per_writer=10,
+            think_time_mean=0.5, start_spread=20.0,
+        ),
+        crash_factory=_reader_churn,
+    ),
+    "write-storm": Scenario(
+        name="write-storm",
+        description="Write-dominated bursts with zero in-burst think time — "
+        "back-to-back timestamp churn keeps every read racing a write.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=10, writes_per_writer=40,
+            think_time_mean=2.0, start_spread=0.5, burst_size=5,
+        ),
+    ),
+    "fault-burst": Scenario(
+        name="fault-burst",
+        description="Mixed bursty load while t servers die nearly at once and "
+        "a quarter of the readers churn out — correlated failure under fire.",
+        workload=ClosedLoopWorkload(
+            reads_per_reader=24, writes_per_writer=12,
+            think_time_mean=1.0, burst_size=4,
+        ),
+        crash_factory=_fault_burst,
     ),
 }
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.metrics import (
-    LatencySummary,
     latencies,
     latency_by_kind,
     messages_per_operation,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import pytest
 

@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.crypto.signatures import SignatureAuthority, SignedPayload
 from repro.errors import SignatureError
-from repro.sim.ids import reader, server, writer
+from repro.sim.ids import reader, writer
 
 
 @pytest.fixture

@@ -128,3 +128,65 @@ class TestCommands:
             ]
         ) == 0
         assert "infeasible" in capsys.readouterr().out
+
+
+class TestSweep:
+    SWEEP_ARGS = [
+        "sweep",
+        "--protocols", "fast-crash", "abd",
+        "--scenarios", "smoke", "write-storm",
+        "--servers", "8", "--t", "1", "--readers", "3",
+        "--seeds", "2",
+    ]
+
+    def test_sweep_table(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        captured = capsys.readouterr()
+        assert "Sweep runs" in captured.out
+        assert "Merged by protocol x scenario" in captured.out
+        assert "write-storm" in captured.out
+        # timing goes to stderr only — stdout must be reproducible
+        assert "runs/s" not in captured.out
+        assert "runs/s" in captured.err
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(self.SWEEP_ARGS + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["runs"]) == 2 * 2 * 2
+        assert len(payload["groups"]) == 4
+        assert all(run["atomic_ok"] for run in payload["runs"])
+
+    def test_sweep_parallel_stdout_identical_to_serial(self, capsys):
+        """Acceptance: --parallel N produces byte-identical summaries."""
+        assert main(self.SWEEP_ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.SWEEP_ARGS + ["--parallel", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_sweep_json_parallel_identical_to_serial(self, capsys):
+        args = self.SWEEP_ARGS + ["--format", "json"]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--parallel", "2"]) == 0
+        assert serial == capsys.readouterr().out
+
+    def test_sweep_infeasible_combination_errors(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--protocols", "fast-crash",
+                "--scenarios", "smoke",
+                "--servers", "4", "--t", "1", "--readers", "8",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 2
+        assert "no feasible" in capsys.readouterr().err
+
+    def test_sweep_no_check_skips_verdicts(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--no-check", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" not in out

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.registers.base import ClusterConfig
 from repro.registers.registry import get_protocol
@@ -11,7 +11,6 @@ from repro.sim.latency import UniformLatency
 from repro.sim.runtime import Simulation
 from repro.spec.atomicity import check_swmr_atomicity
 from repro.spec.fastness import check_all_fast
-from repro.spec.linearizability import check_linearizable
 
 
 def run_sequence(

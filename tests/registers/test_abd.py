@@ -7,7 +7,6 @@ from repro.registers.abd import build_cluster, requirement
 from repro.registers.base import ClusterConfig
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, server, servers, writer
-from repro.spec.atomicity import check_swmr_atomicity
 from repro.spec.fastness import rounds_histogram
 from repro.spec.histories import BOTTOM
 from repro.workloads import ClosedLoopWorkload, run_workload

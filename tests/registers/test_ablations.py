@@ -5,9 +5,7 @@ import pytest
 from repro.registers.ablations import (
     ABLATIONS,
     EagerReader,
-    HastyWriter,
     NoCounterServer,
-    NoResetServer,
     TimidReader,
     build_ablated_cluster,
     demonstrate_eager_reader,

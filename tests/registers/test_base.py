@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.registers import messages as msg
-from repro.registers.base import AckSet, Cluster, ClusterConfig, StorageServer
+from repro.registers.base import AckSet, ClusterConfig, StorageServer
 from repro.registers.fast_crash import build_cluster
 from repro.registers.timestamps import INITIAL_TAG, ValueTag
 from repro.sim.ids import reader, server, writer

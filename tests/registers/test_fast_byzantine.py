@@ -19,10 +19,7 @@ from repro.registers.fast_byzantine import (
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, server, servers, writer
 from repro.sim.latency import UniformLatency
-from repro.sim.runtime import Simulation
 from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.fastness import check_all_fast
-from repro.spec.histories import BOTTOM
 from repro.workloads import ClosedLoopWorkload, run_workload
 
 # S > (R+2)t + (R+1)b = 4*1 + 3*1 = 7

@@ -5,14 +5,12 @@ signed writes observed by overlapping quorums, predicate fallbacks, and
 in-band write-back propagation, all under adversarial delivery control.
 """
 
-import pytest
 
 from repro.registers.base import ClusterConfig
 from repro.registers.fast_byzantine import build_cluster
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, server, servers, writer
 from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.histories import BOTTOM
 
 # S > (R+2)t + (R+1)b = 4 + 3 = 7
 CONFIG = ClusterConfig(S=8, t=1, b=1, R=2)

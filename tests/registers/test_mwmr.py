@@ -10,7 +10,6 @@ from repro.registers.naive_mwmr import build_cluster as build_naive
 from repro.registers.timestamps import MWTimestamp
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, servers, writer
-from repro.spec.fastness import rounds_histogram
 from repro.spec.linearizability import check_linearizable, check_mwmr_p1_p2
 from repro.workloads import ClosedLoopWorkload, run_workload
 

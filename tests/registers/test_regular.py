@@ -6,7 +6,7 @@ from repro.errors import ConfigurationError
 from repro.registers.base import ClusterConfig
 from repro.registers.regular import build_cluster, requirement
 from repro.sim.controller import ScriptedExecution
-from repro.sim.ids import reader, server, servers, writer
+from repro.sim.ids import reader, server, writer
 from repro.spec.atomicity import check_swmr_atomicity
 from repro.spec.histories import BOTTOM
 from repro.spec.regularity import check_swmr_regularity

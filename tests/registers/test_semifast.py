@@ -6,11 +6,10 @@ from repro.errors import ConfigurationError
 from repro.registers.base import ClusterConfig
 from repro.registers.semifast import build_cluster, fast_read_ratio, requirement
 from repro.sim.controller import ScriptedExecution
-from repro.sim.ids import reader, server, servers, writer
+from repro.sim.ids import reader, server, writer
 from repro.sim.latency import UniformLatency
 from repro.sim.runtime import Simulation
 from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.fastness import client_rounds
 from repro.workloads import ClosedLoopWorkload, run_workload
 
 from tests.registers.helpers import (

@@ -1,0 +1,112 @@
+"""Golden-history determinism tests for the fast-path engine.
+
+The digests below were recorded by running the *seed revision* of the
+engine (per-event closures, per-message latency sampling, always-on
+trace) before the slot-based scheduler landed.  The refactored engine
+must reproduce every operation — values, invocation/response instants,
+event and message counts — bit for bit, which pins:
+
+* heap ordering (time, then insertion sequence),
+* the latency draw stream (pre-sampled batches must consume the RNG in
+  send order, exactly as per-message sampling did),
+* fault-plan derivation from the root seed, and
+* trace event counts for traced runs.
+
+If an intentional semantic change ever invalidates these digests,
+re-record them with ``python tests/sim/test_engine_golden.py``.
+"""
+
+import hashlib
+
+from repro.registers.base import ClusterConfig
+from repro.sim.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.workloads.generators import ClosedLoopWorkload
+from repro.workloads.runner import run_workload
+from repro.workloads.scenarios import get_scenario
+
+#: Recorded from the seed engine (commit of the pre-refactor revision).
+GOLDEN = {
+    "fast-crash-constant": "53dd57a8c82c9a3eb81922db49e806de4f14b699ced4c120cf70f1f1dc966bbb",
+    "abd-uniform": "f623fa0be0f01834da40f29c52e896e06bb2ec129394b120ecd86a792e747248",
+    "maxmin-exponential-faulty": "8dc7468bdedb981dddcf7d076bd9c6f7587013dc6eb888ad06146921055dd269",
+    "regular-lognormal-contention": "30511a96831b10a3ad74dd0d26db2232f916ba0d43de98440a05c55af06b0b9a",
+}
+
+
+def history_digest(result) -> str:
+    """Stable digest of everything observable about a run."""
+    hasher = hashlib.sha256()
+    for op in result.history.operations:
+        line = (
+            f"{op.op_id}|{op.proc}|{op.kind}|{op.value!r}|{op.invoked_at!r}|"
+            f"{op.result!r}|{op.responded_at!r}"
+        )
+        hasher.update(line.encode("utf8"))
+    hasher.update(f"events={result.events_executed}".encode("utf8"))
+    hasher.update(f"messages={result.messages_sent()}".encode("utf8"))
+    hasher.update(f"trace={len(result.trace)}".encode("utf8"))
+    return hasher.hexdigest()
+
+
+def run_cases():
+    """The four (protocol, latency, workload) combinations, by name."""
+    yield "fast-crash-constant", run_workload(
+        "fast-crash",
+        ClusterConfig(S=8, t=1, R=3),
+        workload=ClosedLoopWorkload(reads_per_reader=12, writes_per_writer=6),
+        seed=7,
+        latency=ConstantLatency(1.0),
+    )
+    yield "abd-uniform", run_workload(
+        "abd",
+        ClusterConfig(S=5, t=2, R=2),
+        workload=ClosedLoopWorkload(reads_per_reader=10, writes_per_writer=5),
+        seed=11,
+        latency=UniformLatency(0.5, 1.5),
+    )
+    scenario = get_scenario("faulty")
+    config = ClusterConfig(S=6, t=1, R=2)
+    yield "maxmin-exponential-faulty", run_workload(
+        "maxmin",
+        config,
+        workload=scenario.workload,
+        seed=3,
+        latency=ExponentialLatency(mean=1.0),
+        crash_plan=scenario.crash_plan(config, 3),
+    )
+    yield "regular-lognormal-contention", run_workload(
+        "regular-fast",
+        ClusterConfig(S=6, t=1, R=4),
+        workload=ClosedLoopWorkload.contention(ops=8),
+        seed=5,
+        latency=LogNormalLatency(median=1.0, sigma=0.5),
+    )
+
+
+class TestGoldenHistories:
+    def test_all_cases_match_seed_engine_digests(self):
+        mismatches = {}
+        for name, result in run_cases():
+            digest = history_digest(result)
+            if digest != GOLDEN[name]:
+                mismatches[name] = digest
+        assert not mismatches, (
+            "engine no longer reproduces the seed revision's histories: "
+            f"{mismatches}"
+        )
+
+    def test_digests_stable_across_repeat_runs(self):
+        first = {name: history_digest(result) for name, result in run_cases()}
+        second = {name: history_digest(result) for name, result in run_cases()}
+        assert first == second
+
+
+if __name__ == "__main__":
+    # Re-record mode: print current digests for pasting into GOLDEN.
+    for name, result in run_cases():
+        print(f'    "{name}": "{history_digest(result)}",')

@@ -138,3 +138,14 @@ class TestRunUntilQuiet:
         queue.schedule(1.0, reschedule)
         with pytest.raises(RuntimeError, match="budget"):
             run_until_quiet(queue, clock, max_events=50)
+
+    def test_budget_not_raised_when_quiescing_on_budget_th_event(self):
+        """Regression: draining the queue on exactly the budget-th event
+        is quiescence, not a runaway simulation."""
+        queue, clock = EventQueue(), VirtualClock()
+        hits = []
+        for step in range(3):
+            queue.schedule(float(step), lambda step=step: hits.append(step))
+        executed = run_until_quiet(queue, clock, max_events=3)
+        assert executed == 3
+        assert hits == [0, 1, 2]

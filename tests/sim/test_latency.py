@@ -108,3 +108,75 @@ class TestDelayClamping:
 
         model = Zeroish(delay_value=1.0)
         assert model.delay(reader(1), server(1), random.Random(0)) > 0
+
+
+class TestBatchSampling:
+    """The fast-path contract: batched draws consume the RNG exactly as
+    per-message draws would, so pre-sampling never changes a seeded run."""
+
+    MODELS = [
+        ConstantLatency(1.5),
+        UniformLatency(0.5, 1.5),
+        ExponentialLatency(mean=1.0, floor=0.05),
+        LogNormalLatency(median=1.0, sigma=0.5),
+    ]
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_batch_equals_scalar_stream(self, model):
+        scalar_rng, batch_rng = random.Random(42), random.Random(42)
+        scalar = [model.delay(reader(1), server(1), scalar_rng) for _ in range(257)]
+        batched = model.delays(reader(1), server(1), batch_rng, 257)
+        assert batched == scalar
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_fast_path_models_are_link_invariant(self, model):
+        assert model.link_invariant
+
+    def test_per_link_models_stay_on_scalar_path(self):
+        assert not PerLinkLatency().link_invariant
+        assert not SlowServerLatency().link_invariant
+
+    def test_constant_delay_only_for_constant(self):
+        assert ConstantLatency(2.0).constant_delay() == 2.0
+        assert UniformLatency().constant_delay() is None
+
+    def test_batch_clamps_like_scalar(self):
+        class Zeroish(ConstantLatency):
+            def sample(self, src, dst, rng):
+                return 0.0
+
+        model = Zeroish(delay_value=1.0)
+        values = model.delays(reader(1), server(1), random.Random(0), 5)
+        assert all(v > 0 for v in values)
+
+
+class TestVectorLatency:
+    def test_deterministic_per_seed(self):
+        from repro.sim.latency import VectorLatency
+
+        one = VectorLatency("uniform", 0.5, 1.5)
+        two = VectorLatency("uniform", 0.5, 1.5)
+        a = one.sample_batch(reader(1), server(1), random.Random(7), 50)
+        b = two.sample_batch(reader(1), server(1), random.Random(7), 50)
+        assert a == b
+        assert all(0.5 <= v <= 1.5 for v in a)
+
+    def test_reused_instance_stays_deterministic(self):
+        """The model is stateless: reusing one instance across runs must
+        give the same draws as a fresh instance (sweep specs share
+        latency model objects in serial mode)."""
+        from repro.sim.latency import VectorLatency
+
+        shared = VectorLatency("exponential", 1.0, 0.05)
+        first = shared.sample_batch(reader(1), server(1), random.Random(3), 20)
+        again = shared.sample_batch(reader(1), server(1), random.Random(3), 20)
+        fresh = VectorLatency("exponential", 1.0, 0.05).sample_batch(
+            reader(1), server(1), random.Random(3), 20
+        )
+        assert first == again == fresh
+
+    def test_rejects_unknown_kind(self):
+        from repro.sim.latency import VectorLatency
+
+        with pytest.raises(ConfigurationError):
+            VectorLatency("pareto")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim import trace as tr
-from repro.sim.ids import reader, server, writer
+from repro.sim.ids import reader, server
 from repro.sim.latency import ConstantLatency
 from repro.sim.process import ClientProcess, Process
 from repro.sim.runtime import Simulation
@@ -155,3 +155,31 @@ class TestRunUntil:
         sim, _ = make_sim()
         with pytest.raises(SimulationError):
             sim.run_until(lambda: False)
+
+    def test_budget_cannot_fire_after_condition_holds(self):
+        """Regression: the budget check must not raise when the awaited
+        condition became true on exactly the budget-th event."""
+        sim, _ = make_sim(server_count=1)
+        hits = []
+        for step in range(5):
+            sim.at(float(step), lambda step=step: hits.append(step))
+        # the condition becomes true while executing the 3rd event —
+        # exactly when the budget is exhausted
+        sim.run_until(lambda: len(hits) >= 3, max_events=3)
+        assert hits == [0, 1, 2]
+
+    def test_budget_still_enforced_before_condition(self):
+        sim, _ = make_sim(server_count=1)
+        hits = []
+        for step in range(5):
+            sim.at(float(step), lambda step=step: hits.append(step))
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run_until(lambda: len(hits) >= 5, max_events=3)
+
+    def test_run_until_dispatches_deliveries(self):
+        """run_until must handle fast-path DELIVER entries, not only
+        scheduled callables."""
+        sim, client = make_sim(server_count=3)
+        sim.invoke(reader(1), "read")
+        sim.run_until(lambda: client.pongs >= 2)
+        assert client.pongs >= 2

@@ -1,6 +1,5 @@
 """Tests for the fastness analysis (Section 3.2)."""
 
-import pytest
 
 from repro.registers.base import ClusterConfig
 from repro.registers.registry import get_protocol

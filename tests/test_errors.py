@@ -47,6 +47,9 @@ class TestPackageSurface:
 
         assert callable(run_workload)
         assert callable(run_crash_lower_bound)
+        assert callable(run_byzantine_lower_bound)
+        assert callable(run_mwmr_impossibility)
+        assert ClusterConfig(S=3, t=1, R=1).quorum == 2
 
     def test_protocol_registry_exposed(self):
         assert "fast-crash" in repro.PROTOCOLS

@@ -97,3 +97,53 @@ class TestMultiWriter:
         sim.run()
         values = {op.value for op in sim.history.writes}
         assert values == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+
+class TestBurstWorkload:
+    def test_burst_size_one_is_default_behaviour(self):
+        plain = ClosedLoopWorkload(reads_per_reader=4, writes_per_writer=3)
+        explicit = ClosedLoopWorkload(
+            reads_per_reader=4, writes_per_writer=3, burst_size=1
+        )
+        sim_a, _ = drive(plain, seed=5)
+        sim_b, _ = drive(explicit, seed=5)
+        ops_a = [(op.proc, op.kind, op.invoked_at) for op in sim_a.history.operations]
+        ops_b = [(op.proc, op.kind, op.invoked_at) for op in sim_b.history.operations]
+        assert ops_a == ops_b
+
+    def test_bursty_completes_all_ops(self):
+        workload = ClosedLoopWorkload.bursty(ops=12, burst_size=4, pause_mean=3.0)
+        sim, driver = drive(workload)
+        assert len(sim.history) == driver.total_planned
+        assert not sim.history.incomplete_operations
+
+    def test_bursts_are_back_to_back(self):
+        """Within a burst the next invocation fires at the previous
+        response instant; pauses only appear between bursts."""
+        workload = ClosedLoopWorkload(
+            reads_per_reader=0, writes_per_writer=6,
+            think_time_mean=5.0, start_spread=0.0, burst_size=3,
+        )
+        sim, _ = drive(workload)
+        ops = [op for op in sim.history.operations if op.proc == writer(1)]
+        assert len(ops) == 6
+        gaps = [
+            later.invoked_at - earlier.responded_at
+            for earlier, later in zip(ops, ops[1:])
+        ]
+        # gaps inside a burst (positions 0, 1, 3, 4) are zero; the gap
+        # between bursts (position 2) is an exponential pause
+        assert gaps[0] == gaps[1] == gaps[3] == gaps[4] == 0.0
+        assert gaps[2] > 0.0
+
+    def test_invalid_burst_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedLoopWorkload(burst_size=0)
+
+    def test_burst_runs_deterministic(self):
+        workload = ClosedLoopWorkload.bursty(ops=8, burst_size=3)
+        sim_a, _ = drive(workload, seed=11)
+        sim_b, _ = drive(workload, seed=11)
+        a = [(op.proc, op.invoked_at, op.responded_at) for op in sim_a.history.operations]
+        b = [(op.proc, op.invoked_at, op.responded_at) for op in sim_b.history.operations]
+        assert a == b

@@ -55,3 +55,47 @@ class TestScenarioRuns:
             crash_plan=scenario.crash_plan(CONFIG, seed=7),
         )
         assert result.check_atomic().ok, (name, result.history.describe())
+
+
+class TestHighLoadScenarios:
+    def test_new_scenarios_in_catalog(self):
+        assert {"reader-churn", "write-storm", "fault-burst"} <= set(SCENARIOS)
+
+    def test_reader_churn_crashes_only_readers(self):
+        scenario = get_scenario("reader-churn")
+        for seed in range(4):
+            plan = scenario.crash_plan(CONFIG, seed)
+            assert plan is not None
+            assert not plan.server_crashes()
+            assert all(event.pid.is_reader for event in plan.events)
+            assert len(plan.events) == CONFIG.R // 2
+
+    def test_fault_burst_is_tight_and_bounded(self):
+        scenario = get_scenario("fault-burst")
+        for seed in range(4):
+            plan = scenario.crash_plan(CONFIG, seed)
+            servers = plan.server_crashes()
+            assert len(servers) == CONFIG.t
+            times = sorted(event.at for event in servers)
+            assert times[-1] - times[0] <= 2.0
+            readers = [e for e in plan.events if e.pid.is_reader]
+            assert len(readers) == CONFIG.R // 4
+
+    def test_write_storm_is_bursty_write_heavy(self):
+        workload = get_scenario("write-storm").workload
+        assert workload.writes_per_writer > workload.reads_per_reader
+        assert workload.burst_size > 1
+
+    def test_new_scenarios_complete_under_abd(self):
+        """The sweep default pairing: every new scenario also quiesces on
+        a two-round protocol with a different quorum structure."""
+        for name in ("reader-churn", "write-storm", "fault-burst"):
+            scenario = get_scenario(name)
+            result = run_workload(
+                "abd",
+                CONFIG,
+                workload=scenario.workload,
+                seed=3,
+                crash_plan=scenario.crash_plan(CONFIG, seed=3),
+            )
+            assert result.check_atomic().ok, name
