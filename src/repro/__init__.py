@@ -52,10 +52,13 @@ from repro.sim import ScriptedExecution, Simulation
 from repro.spec import (
     BOTTOM,
     History,
+    HistoryValidator,
     check_all_fast,
     check_linearizable,
     check_swmr_atomicity,
     check_swmr_regularity,
+    quiescent_segments,
+    validate_history,
 )
 from repro.version import __version__
 from repro.workloads import ClosedLoopWorkload, RunResult, run_workload
@@ -66,6 +69,7 @@ __all__ = [
     "ClusterConfig",
     "ConfigurationError",
     "History",
+    "HistoryValidator",
     "InfeasibleConstructionError",
     "PROTOCOLS",
     "ProtocolError",
@@ -87,8 +91,10 @@ __all__ = [
     "get_protocol",
     "max_readers",
     "min_servers",
+    "quiescent_segments",
     "run_byzantine_lower_bound",
     "run_crash_lower_bound",
     "run_mwmr_impossibility",
     "run_workload",
+    "validate_history",
 ]

@@ -48,13 +48,19 @@ def percentile(values: Sequence[float], fraction: float) -> float:
 def summarize(values: Sequence[float]) -> LatencySummary:
     if not values:
         return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def rank(fraction: float) -> float:
+        return ordered[max(0, math.ceil(fraction * count) - 1)]
+
     return LatencySummary(
-        count=len(values),
-        mean=sum(values) / len(values),
-        p50=percentile(values, 0.50),
-        p95=percentile(values, 0.95),
-        p99=percentile(values, 0.99),
-        maximum=max(values),
+        count=count,
+        mean=sum(ordered) / count,
+        p50=rank(0.50),
+        p95=rank(0.95),
+        p99=rank(0.99),
+        maximum=ordered[-1],
     )
 
 
@@ -71,6 +77,21 @@ def latency_by_kind(history: History) -> Dict[str, LatencySummary]:
     return {
         kind: summarize(latencies(history, kind))
         for kind in ("read", "write")
+    }
+
+
+def summarize_by_kind(
+    read_latencies: Sequence[float], write_latencies: Sequence[float]
+) -> Dict[str, LatencySummary]:
+    """Summaries from pre-collected latency lists.
+
+    The online :class:`~repro.spec.online.HistoryValidator` accumulates
+    per-kind latencies as operations complete; this turns them into the
+    same shape as :func:`latency_by_kind` without re-walking the history.
+    """
+    return {
+        "read": summarize(read_latencies),
+        "write": summarize(write_latencies),
     }
 
 

@@ -6,6 +6,10 @@ whole reproduction on one page, and the engine behind ``repro report``.
 Each section states the paper's claim and the freshly measured outcome;
 any mismatch renders as **FAIL**, making the report double as an
 end-to-end self-check.
+
+Sections consume each run's cached validation (latencies tallied online,
+verdicts computed once) rather than re-walking histories the runner
+already judged.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
-from repro.analysis.metrics import latency_by_kind
+from repro.analysis.metrics import summarize
 from repro.analysis.tables import render_table
 from repro.bounds.byzantine_construction import run_byzantine_lower_bound
 from repro.bounds.byzantine_indistinguishability import verify_byzantine_chain
@@ -58,7 +62,7 @@ def _read_mean(protocol: str, config: ClusterConfig, seed: int = 1) -> float:
         latency=HOP,
     )
     assert result.check_atomic().ok or protocol == "regular-fast"
-    return latency_by_kind(result.history)["read"].mean
+    return summarize(result.read_latencies()).mean
 
 
 def _section_latency() -> Section:

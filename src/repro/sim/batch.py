@@ -36,8 +36,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import (
     LatencySummary,
-    latency_by_kind,
     merge_summaries,
+    summarize_by_kind,
     throughput,
 )
 from repro.analysis.tables import render_table
@@ -156,12 +156,18 @@ def execute_spec(spec: SweepSpec) -> RunSummary:
         record_trace=False,
         max_events=spec.max_events,
     )
-    summaries = latency_by_kind(result.history)
+    # The run's online validator already tallied completions and
+    # latencies while the simulation executed; the atomicity verdict is
+    # computed once here and cached, so nothing downstream re-checks.
+    validation = result.validation
+    summaries = summarize_by_kind(
+        validation.read_latencies, validation.write_latencies
+    )
     return RunSummary(
         protocol=spec.protocol,
         scenario=spec.scenario,
         seed=spec.seed,
-        ops_complete=len(result.history.complete_operations),
+        ops_complete=validation.ops_complete,
         events=result.events_executed,
         messages=result.messages_sent(),
         read=summaries["read"],

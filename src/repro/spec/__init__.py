@@ -7,11 +7,13 @@ protocol's internal bookkeeping.
 
 from repro.spec.atomicity import check_swmr_atomicity, check_termination
 from repro.spec.fastness import (
+    FastnessScan,
     OpTiming,
     analyze_operation,
     check_all_fast,
     client_rounds,
     rounds_histogram,
+    scan_trace,
     server_replies_immediate,
 )
 from repro.spec.histories import (
@@ -21,6 +23,8 @@ from repro.spec.histories import (
     History,
     Operation,
     Verdict,
+    parse_pid,
+    quiescent_segments,
     value_written_by,
 )
 from repro.spec.linearizability import (
@@ -28,11 +32,14 @@ from repro.spec.linearizability import (
     check_mwmr_p1_p2,
     find_linearization,
 )
+from repro.spec.online import HistoryValidator, validate_history
 from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
 
 __all__ = [
     "BOTTOM",
+    "FastnessScan",
     "History",
+    "HistoryValidator",
     "OpTiming",
     "Operation",
     "READ",
@@ -48,7 +55,11 @@ __all__ = [
     "client_rounds",
     "count_new_old_inversions",
     "find_linearization",
+    "parse_pid",
+    "quiescent_segments",
     "rounds_histogram",
+    "scan_trace",
     "server_replies_immediate",
+    "validate_history",
     "value_written_by",
 ]

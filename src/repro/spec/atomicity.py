@@ -18,11 +18,20 @@ conditions simultaneously.  Reads are processed in response order and
 greedily assigned the smallest feasible index; the minimal choice only
 relaxes the monotonicity constraint (condition 4) for later reads, so the
 greedy assignment exists iff any assignment exists.
+
+When the write timeline is monotone (every write invoked and responding
+no earlier than its predecessor — always true for histories recorded
+through the :class:`~repro.spec.histories.History` API), conditions 2
+and 3 reduce to binary searches over the write invocation/response
+times, making the whole check ``O(n log n)``.  Non-monotone hand-built
+histories fall back to the original linear scans; verdicts are
+identical either way.
 """
 
 from __future__ import annotations
 
 import bisect
+import math
 from typing import Any, Dict, List, Optional
 
 from repro.errors import SpecificationError
@@ -50,6 +59,21 @@ def check_swmr_atomicity(history: History) -> Verdict:
     indices_of: Dict[Any, List[int]] = {}
     for k, value in enumerate(values):
         indices_of.setdefault(value, []).append(k)
+
+    # Fast condition-2/3 bounds need the write timeline monotone in both
+    # invocation and response time; the History API guarantees this
+    # (one pending operation per process), hand-built histories may not.
+    write_invocations = [op.invoked_at for op in writes]
+    write_responses = [
+        op.responded_at if op.complete else math.inf for op in writes
+    ]
+    monotone = all(
+        earlier <= later
+        for earlier, later in zip(write_invocations, write_invocations[1:])
+    ) and all(
+        earlier <= later
+        for earlier, later in zip(write_responses, write_responses[1:])
+    )
 
     complete_reads = sorted(
         (op for op in history.reads if op.complete),
@@ -82,26 +106,39 @@ def check_swmr_atomicity(history: History) -> Verdict:
             )
 
         # Condition 2: must not return older than the last preceding write.
-        low = 0
-        for k in range(len(writes), 0, -1):
-            if writes[k - 1].precedes(rd):
-                low = k
-                break
+        if monotone:
+            low = bisect.bisect_left(write_responses, rd.invoked_at)
+        else:
+            low = 0
+            for k in range(len(writes), 0, -1):
+                if writes[k - 1].precedes(rd):
+                    low = k
+                    break
 
         # Condition 4: monotone over read precedence.
         low = max(low, condition4_lower_bound(rd))
 
         chosen: Optional[int] = None
-        for k in feasible:
-            if k < low:
-                continue
-            # Condition 3: wr_k precedes rd or is concurrent with rd,
-            # i.e. NOT (rd precedes wr_k).  k = 0 (initial value) is
-            # exempt: there is no wr_0.
-            if k >= 1 and rd.precedes(writes[k - 1]):
-                continue
-            chosen = k
-            break
+        if monotone:
+            # Condition 3 becomes an upper bound: wr_k must precede rd
+            # or be concurrent with it, i.e. be invoked no later than
+            # the read responded.  k = 0 (initial value) is exempt and
+            # trivially within the bound.
+            high = bisect.bisect_right(write_invocations, rd.responded_at)
+            at = bisect.bisect_left(feasible, low)
+            if at < len(feasible) and feasible[at] <= high:
+                chosen = feasible[at]
+        else:
+            for k in feasible:
+                if k < low:
+                    continue
+                # Condition 3: wr_k precedes rd or is concurrent with rd,
+                # i.e. NOT (rd precedes wr_k).  k = 0 (initial value) is
+                # exempt: there is no wr_0.
+                if k >= 1 and rd.precedes(writes[k - 1]):
+                    continue
+                chosen = k
+                break
 
         if chosen is None:
             return _explain_failure(rd, feasible, low, writes)

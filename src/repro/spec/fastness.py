@@ -15,14 +15,23 @@ the number of distinct steps in which the client sent messages for the
 operation: ABD reads show 2 (query + write-back), the Figure 2/5
 protocols show 1.  Server immediacy is checked by scanning for deliveries
 to the server between its receipt of the client's message and its reply.
+
+:class:`FastnessScan` is the engine: a **single forward pass** over the
+trace that classifies every operation at once.  The old per-operation
+helpers (:func:`client_rounds`, :func:`server_replies_immediate`) rescan
+the trace per call and are kept for spot checks and tests;
+:func:`check_all_fast` and :func:`rounds_histogram` run one shared scan,
+and the online validator (:mod:`repro.spec.online`) feeds the same scan
+incrementally as trace events are recorded.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.sim.trace import DELIVER, SEND, TraceLog
+from repro.sim.ids import ProcessId
+from repro.sim.trace import DELIVER, INVOKE, SEND, TraceEvent, TraceLog
 from repro.spec.histories import History, Operation, Verdict
 
 
@@ -40,6 +49,87 @@ class OpTiming:
     def is_fast(self) -> bool:
         """One client round and every replier answered immediately."""
         return self.client_rounds == 1 and self.immediate_replies
+
+
+class FastnessScan:
+    """Single-pass classifier of operation communication shapes.
+
+    Feed trace events in order via :meth:`observe` (or a whole log via
+    :meth:`consume`); read per-operation summaries with :meth:`timing`.
+    The invariant making one pass sufficient: a reply is *immediate*
+    exactly when the most recent delivery to the replying process is the
+    invoking client's request for the same operation — anything newer in
+    between disqualifies it, which is precisely what the paper's
+    condition (2) forbids.
+    """
+
+    def __init__(self) -> None:
+        self._invoker: Dict[int, ProcessId] = {}
+        self._last_delivery: Dict[ProcessId, TraceEvent] = {}
+        self._client_steps: Dict[int, Set[int]] = {}
+        self._messages: Dict[int, int] = {}
+        self._repliers: Dict[int, Set[ProcessId]] = {}
+        self._immediate: Dict[int, bool] = {}
+
+    def register_operation(self, op: Operation) -> None:
+        """Pre-declare an operation's invoker (offline scans use this;
+        online ones learn invokers from INVOKE events)."""
+        self._invoker[op.op_id] = op.proc
+
+    def observe(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == SEND:
+            op_id = event.op_id
+            if op_id is None or event.env is None:
+                return
+            self._messages[op_id] = self._messages.get(op_id, 0) + 1
+            invoker = self._invoker.get(op_id)
+            if event.pid == invoker:
+                self._client_steps.setdefault(op_id, set()).add(event.step_id)
+            elif event.env.dst == invoker:
+                # A reply to the client.  Condition (2): the replier must
+                # not have received anything since the client's request.
+                self._repliers.setdefault(op_id, set()).add(event.pid)
+                last = self._last_delivery.get(event.pid)
+                immediate = (
+                    last is not None
+                    and last.op_id == op_id
+                    and last.env is not None
+                    and last.env.src == invoker
+                )
+                if not immediate:
+                    self._immediate[op_id] = False
+                else:
+                    self._immediate.setdefault(op_id, True)
+            # server-to-server chatter constrains nothing directly; it
+            # disqualifies replies through the last-delivery rule.
+        elif kind == DELIVER:
+            self._last_delivery[event.pid] = event
+        elif kind == INVOKE and event.op_id is not None:
+            self._invoker[event.op_id] = event.pid
+
+    def consume(self, trace: TraceLog) -> "FastnessScan":
+        for event in trace.events:
+            self.observe(event)
+        return self
+
+    def timing(self, op: Operation) -> OpTiming:
+        op_id = op.op_id
+        return OpTiming(
+            op_id=op_id,
+            client_rounds=len(self._client_steps.get(op_id, ())),
+            messages_sent=self._messages.get(op_id, 0),
+            servers_replied=len(self._repliers.get(op_id, ())),
+            immediate_replies=self._immediate.get(op_id, True),
+        )
+
+
+def scan_trace(trace: TraceLog, history: History) -> FastnessScan:
+    """One-pass scan of a completed run's trace."""
+    scan = FastnessScan()
+    for op in history.operations:
+        scan.register_operation(op)
+    return scan.consume(trace)
 
 
 def client_rounds(trace: TraceLog, op: Operation) -> int:
@@ -93,7 +183,6 @@ def server_replies_immediate(trace: TraceLog, op: Operation) -> bool:
 
 
 def analyze_operation(trace: TraceLog, op: Operation) -> OpTiming:
-    sends = trace.sends_by(op.proc, op_id=op.op_id)
     repliers = {
         event.pid
         for event in trace.for_op(op.op_id)
@@ -113,14 +202,16 @@ def check_all_fast(
     trace: TraceLog,
     history: History,
     kinds: Tuple[str, ...] = ("read", "write"),
+    scan: Optional[FastnessScan] = None,
 ) -> Verdict:
     """Verdict that every complete operation of the given kinds was fast."""
+    if scan is None:
+        scan = scan_trace(trace, history)
     slow: List[int] = []
     for op in history.complete_operations:
         if op.kind not in kinds:
             continue
-        timing = analyze_operation(trace, op)
-        if not timing.is_fast:
+        if not scan.timing(op).is_fast:
             slow.append(op.op_id)
     if slow:
         return Verdict(
@@ -132,11 +223,17 @@ def check_all_fast(
     return Verdict(ok=True, property_name="fast implementation (Section 3.2)")
 
 
-def rounds_histogram(trace: TraceLog, history: History) -> Dict[str, Dict[int, int]]:
+def rounds_histogram(
+    trace: TraceLog,
+    history: History,
+    scan: Optional[FastnessScan] = None,
+) -> Dict[str, Dict[int, int]]:
     """Distribution of client rounds per operation kind (for benches)."""
+    if scan is None:
+        scan = scan_trace(trace, history)
     out: Dict[str, Dict[int, int]] = {}
     for op in history.complete_operations:
-        rounds = client_rounds(trace, op)
+        rounds = scan.timing(op).client_rounds
         out.setdefault(op.kind, {}).setdefault(rounds, 0)
         out[op.kind][rounds] += 1
     return out

@@ -4,16 +4,28 @@ A history is the externally visible behaviour of a run: the sequence of
 operation invocations and responses, with their values and times.  All
 correctness judgements (atomicity, regularity, linearizability) are
 functions of the history alone, per Section 3 of the paper.
+
+Beyond the core :class:`History` log, this module provides the two
+pieces the fast verification pipeline is built on:
+
+* **quiescent segmentation** (:func:`quiescent_segments`): split a pool
+  of operations at instants where no operation is pending, so each
+  segment can be checked independently — the product of small searches
+  instead of one exponential one;
+* **serialization** (:meth:`History.to_dict` / :meth:`History.from_dict`
+  and the JSON wrappers), so histories can be written to disk, shared as
+  golden corpora and re-judged standalone via ``repro check``.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SpecificationError
-from repro.sim.ids import ProcessId
+from repro.sim.ids import ProcessId, READER, SERVER, WRITER
 
 READ = "read"
 WRITE = "write"
@@ -71,6 +83,49 @@ class Operation:
         )
         result = f" -> {self.result!r}" if self.complete else ""
         return f"read() by {self.proc} {span}{result}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record; ``proc`` travels as its ``"w1"`` string."""
+        return {
+            "op_id": self.op_id,
+            "proc": str(self.proc),
+            "kind": self.kind,
+            "invoked_at": self.invoked_at,
+            "value": self.value,
+            "result": self.result,
+            "responded_at": self.responded_at,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Operation":
+        return cls(
+            op_id=int(record["op_id"]),
+            proc=parse_pid(record["proc"]),
+            kind=record["kind"],
+            invoked_at=float(record["invoked_at"]),
+            value=record.get("value"),
+            result=record.get("result"),
+            responded_at=(
+                None
+                if record.get("responded_at") is None
+                else float(record["responded_at"])
+            ),
+        )
+
+
+_KIND_OF_PREFIX = {"s": SERVER, "r": READER, "w": WRITER}
+
+
+def parse_pid(text: str) -> ProcessId:
+    """Inverse of ``str(ProcessId)``: ``"r2"`` -> ``ProcessId(reader, 2)``."""
+    try:
+        kind = _KIND_OF_PREFIX[text[0]]
+        index = int(text[1:])
+        if index < 1:
+            raise ValueError
+    except (KeyError, ValueError, IndexError):
+        raise SpecificationError(f"malformed process id {text!r}") from None
+    return ProcessId(kind, index)
 
 
 class History:
@@ -170,6 +225,100 @@ class History:
 
     def describe(self) -> str:
         return "\n".join(op.describe() for op in self.operations)
+
+    # ------------------------------------------------------------------
+    # serialization
+
+    FORMAT = "repro-history/v1"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.FORMAT,
+            "operations": [op.to_dict() for op in self.operations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_operations(cls, operations: Sequence[Operation]) -> "History":
+        """Rebuild a history from pre-timed operations.
+
+        Unlike :meth:`invoke`/:meth:`respond`, this path accepts any
+        operation ids (golden corpora must keep the ids their verdicts
+        point at) but still enforces one pending operation per process.
+        """
+        history = cls()
+        max_id = 0
+        for op in operations:
+            if op.kind not in (READ, WRITE):
+                raise SpecificationError(f"unknown operation kind {op.kind!r}")
+            if op.op_id in history._by_id:
+                raise SpecificationError(f"duplicate operation id {op.op_id}")
+            if op.complete and op.responded_at < op.invoked_at:
+                raise SpecificationError(
+                    f"operation {op.op_id}: response at {op.responded_at} "
+                    f"precedes invocation at {op.invoked_at}"
+                )
+            if not op.complete and op.proc in history._pending:
+                raise SpecificationError(
+                    f"{op.proc} has two pending operations; the model "
+                    "allows one at a time"
+                )
+            history.operations.append(op)
+            history._by_id[op.op_id] = op
+            if not op.complete:
+                history._pending[op.proc] = op
+            max_id = max(max_id, op.op_id)
+        history._op_counter = itertools.count(max_id + 1)
+        return history
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "History":
+        fmt = payload.get("format", cls.FORMAT)
+        if fmt != cls.FORMAT:
+            raise SpecificationError(
+                f"unsupported history format {fmt!r} (expected {cls.FORMAT!r})"
+            )
+        ops = [Operation.from_dict(record) for record in payload["operations"]]
+        return cls.from_operations(ops)
+
+    @classmethod
+    def from_json(cls, text: str) -> "History":
+        return cls.from_dict(json.loads(text))
+
+
+def quiescent_segments(operations: Sequence[Operation]) -> List[List[Operation]]:
+    """Split operations at quiescent points into independent segments.
+
+    A cut is placed between two operations when every operation before
+    the cut *responded strictly before* every operation after the cut
+    was invoked — i.e. at an instant where nothing is pending.  Every
+    operation in an earlier segment then real-time-precedes every
+    operation in a later one, so a linearization of the whole pool is
+    exactly a concatenation of per-segment linearizations (with the
+    register value threaded across the cut).  Checking each segment
+    independently turns one exponential search into a product of small
+    ones.
+
+    Incomplete operations never respond, so they (and everything invoked
+    after them) always land in the final segment.  The input must be
+    sorted by ``(invoked_at, op_id)`` — the order the checker pools use.
+    """
+    segments: List[List[Operation]] = []
+    current: List[Operation] = []
+    frontier = float("-inf")  # latest response seen so far
+    for op in operations:
+        if current and frontier < op.invoked_at:
+            segments.append(current)
+            current = []
+        current.append(op)
+        frontier = max(
+            frontier, op.responded_at if op.complete else float("inf")
+        )
+    if current:
+        segments.append(current)
+    return segments
 
 
 @dataclass(frozen=True)

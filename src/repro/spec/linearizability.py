@@ -9,18 +9,285 @@ dropped.
 This checker is protocol- and writer-count-agnostic; it cross-validates
 the specialised SWMR checker in property tests and judges the MWMR
 histories of Section 7.  The search is exponential in the worst case
-(linearizability checking is NP-hard in general), but memoisation over
-``(linearized-set, register-value)`` states keeps the histories produced
-by tests and constructions fast to check.
+(linearizability checking is NP-hard in general), but three layers keep
+real histories fast:
+
+* **single-writer fast path** — when the history has one writer whose
+  writes are totally ordered in real time, reads only need interval
+  containment against the write order; a greedy ``O(n log n)`` sweep
+  (the Section 3.1 conditions) decides the verdict with no search at
+  all.  The general search is the fallback when the preconditions fail.
+* **quiescent segmentation** — the pool is split at instants where no
+  operation is pending (:func:`repro.spec.histories.quiescent_segments`);
+  each segment is searched independently with the register value
+  threaded across the cut, turning one exponential search over a long
+  history into a product of small ones.
+* **bitmask states** — within a segment, the linearized set is an
+  integer bitmask over the segment's (pre-sorted) operations and the
+  real-time precedence constraints are precomputed masks built by an
+  ``O(n log n)`` sort-based sweep, so every state transition is a few
+  integer operations instead of frozenset algebra.
+
+``max_states`` bounds the search; exceeding it raises rather than
+returning a wrong verdict.
 """
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List, Optional, Set, Tuple
+import bisect
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
-from repro.spec.histories import BOTTOM, History, Operation, Verdict
+from repro.spec.histories import (
+    BOTTOM,
+    History,
+    Operation,
+    Verdict,
+    quiescent_segments,
+)
 
 PROPERTY = "linearizability (read/write register)"
+
+
+def _build_pool(history: History) -> Tuple[List[Operation], Set[int]]:
+    """Candidate operations, sorted, plus the ids that must linearize.
+
+    Incomplete reads never constrain linearizability: they may always be
+    dropped from the completed history.  Incomplete writes may need to
+    take effect, so they stay in the candidate pool.
+    """
+    ops = list(history.operations)
+    complete_ops = [op for op in ops if op.complete]
+    pending_writes = [op for op in ops if not op.complete and op.is_write]
+    pool = complete_ops + pending_writes
+    pool.sort(key=lambda op: (op.invoked_at, op.op_id))
+    return pool, {op.op_id for op in complete_ops}
+
+
+def _preceder_masks(segment: Sequence[Operation]) -> List[int]:
+    """``masks[j]`` = bitmask of segment ops that real-time-precede op j.
+
+    Built by a sort-based sweep instead of the O(n²) pairwise loop: walk
+    the segment in invocation order (the segment's own order) while
+    consuming responses sorted by time; every response strictly before
+    the current invocation joins the running mask.
+    """
+    responses = sorted(
+        (op.responded_at, i)
+        for i, op in enumerate(segment)
+        if op.complete
+    )
+    masks = [0] * len(segment)
+    running = 0
+    consumed = 0
+    for j, op in enumerate(segment):
+        invoked = op.invoked_at
+        while consumed < len(responses) and responses[consumed][0] < invoked:
+            running |= 1 << responses[consumed][1]
+            consumed += 1
+        # An operation never precedes itself, even in malformed records
+        # whose response time lies before their invocation time.
+        masks[j] = running & ~(1 << j)
+    return masks
+
+
+class _Budget:
+    """Shared state-visit budget across all segments of one check."""
+
+    __slots__ = ("limit", "visited")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.visited = 0
+
+    def spend(self) -> None:
+        self.visited += 1
+        if self.visited > self.limit:
+            raise RuntimeError(
+                f"linearizability search exceeded {self.limit} states; "
+                "the history is too adversarial for this checker"
+            )
+
+
+def _search_segmented(
+    pool: Sequence[Operation], max_states: int
+) -> Optional[List[int]]:
+    """Find a linearization of the pool, or ``None``.
+
+    Iterative depth-first backtracking over ``(segment, mask, value)``
+    states.  Crossing into segment ``k+1`` requires segment ``k`` fully
+    linearized (all its operations are complete, by construction of the
+    cuts); within the final segment, success requires only the complete
+    operations — trailing pending writes may stay dropped.
+    """
+    segments = quiescent_segments(pool)
+    if not segments:
+        return []
+    seg_masks = [_preceder_masks(seg) for seg in segments]
+    seg_must = [
+        sum(1 << i for i, op in enumerate(seg) if op.complete)
+        for seg in segments
+    ]
+    seg_full = [(1 << len(seg)) - 1 for seg in segments]
+    last = len(segments) - 1
+    budget = _Budget(max_states)
+    seen: Set[Tuple[int, int, Any]] = set()
+    witness: List[int] = []
+    # Each frame is one state plus the index of the next candidate to
+    # try and whether entering the state appended an op to the witness.
+    frames: List[List[Any]] = []
+
+    def enter(seg_idx: int, mask: int, value: Any, appended: bool) -> int:
+        """Push a state; returns 1 on overall success, 0 pushed, -1 dead."""
+        # Advance through segments completed by this move.  All ops in a
+        # non-final segment are complete, so "must satisfied" there means
+        # "fully linearized" and the search may cross the cut.
+        while seg_idx <= last and mask & seg_must[seg_idx] == seg_must[seg_idx]:
+            if seg_idx == last:
+                return 1
+            seg_idx += 1
+            mask = 0
+        state = (seg_idx, mask, value)
+        if state in seen:
+            return -1
+        seen.add(state)
+        budget.spend()
+        frames.append([seg_idx, mask, value, 0, appended])
+        return 0
+
+    outcome = enter(0, 0, BOTTOM, appended=False)
+    if outcome == 1:
+        return []
+    if outcome == -1:  # unreachable: the root state is always fresh
+        return None
+    while frames:
+        frame = frames[-1]
+        seg_idx, mask, value, j, appended = frame
+        segment = segments[seg_idx]
+        masks = seg_masks[seg_idx]
+        advanced = False
+        while j < len(segment):
+            op = segment[j]
+            bit = 1 << j
+            j += 1
+            if mask & bit:
+                continue
+            if masks[j - 1] & ~mask:
+                continue  # a real-time predecessor is still unlinearized
+            if op.is_read:
+                # Pool reads are complete (incomplete reads are dropped
+                # at pool construction) and must observe the value.
+                if op.result != value:
+                    continue
+                next_value = value
+            else:
+                next_value = op.value
+            frame[3] = j
+            witness.append(op.op_id)
+            outcome = enter(seg_idx, mask | bit, next_value, appended=True)
+            if outcome == 1:
+                return witness
+            if outcome == 0:
+                advanced = True
+                break
+            witness.pop()  # dead state: undo and keep scanning
+        if advanced:
+            continue
+        frames.pop()
+        if appended:
+            witness.pop()
+    return None
+
+
+# ----------------------------------------------------------------------
+# single-writer fast path
+
+
+def _swmr_write_order(pool: Sequence[Operation]) -> Optional[List[Operation]]:
+    """The totally ordered write sequence, or ``None`` if preconditions fail.
+
+    Requirements: at most one writing process, every write but the last
+    complete, and each write responding strictly before the next is
+    invoked (so real time orders them unambiguously).  Histories built
+    through the :class:`History` API satisfy this whenever they are
+    single-writer; hand-crafted or deserialized ones may not, in which
+    case the general search decides instead.
+    """
+    writes = [op for op in pool if op.is_write]
+    if len({op.proc for op in writes}) > 1:
+        return None
+    for earlier, later in zip(writes, writes[1:]):
+        if not earlier.complete or earlier.responded_at >= later.invoked_at:
+            return None
+    return writes
+
+
+def _check_swmr_fast(
+    pool: Sequence[Operation], writes: List[Operation]
+) -> bool:
+    """Interval containment against the write order, in O(n log n).
+
+    Greedily assigns each read (in response order) the smallest write
+    index ``k`` such that
+
+    * ``k`` is at least the number of writes that responded before the
+      read was invoked (a read cannot return an overwritten value),
+    * ``k`` is at least the largest index assigned to any read that
+      responded before this read was invoked (reads are monotone),
+    * write ``k`` was invoked no later than the read responded (a read
+      cannot return a value from the future), and
+    * write ``k`` wrote the value the read returned (``k = 0`` is ⊥).
+
+    The minimal choice only relaxes the monotonicity bound for later
+    reads, so the greedy assignment exists iff any assignment does —
+    and, for a totally ordered write sequence, iff the history is
+    linearizable.
+    """
+    write_invocations = [op.invoked_at for op in writes]
+    write_responses = [op.responded_at for op in writes if op.complete]
+    indices_of: dict = {BOTTOM: [0]}
+    for k, op in enumerate(writes, start=1):
+        indices_of.setdefault(op.value, []).append(k)
+
+    reads = sorted(
+        (op for op in pool if op.is_read),
+        key=lambda op: (op.responded_at, op.op_id),
+    )
+    processed_responses: List[float] = []
+    prefix_max: List[int] = []
+    for rd in reads:
+        feasible = indices_of.get(rd.result)
+        if not feasible:
+            return False
+        low = bisect.bisect_left(write_responses, rd.invoked_at)
+        pos = bisect.bisect_left(processed_responses, rd.invoked_at)
+        if pos:
+            low = max(low, prefix_max[pos - 1])
+        high = bisect.bisect_right(write_invocations, rd.responded_at)
+        at = bisect.bisect_left(feasible, low)
+        if at == len(feasible) or feasible[at] > high:
+            return False
+        chosen = feasible[at]
+        processed_responses.append(rd.responded_at)
+        prefix_max.append(
+            chosen if not prefix_max else max(prefix_max[-1], chosen)
+        )
+    return True
+
+
+# ----------------------------------------------------------------------
+# public API
+
+
+def _failure_verdict(must_linearize: Set[int]) -> Verdict:
+    return Verdict(
+        ok=False,
+        property_name=PROPERTY,
+        reason=(
+            "no linearization exists: every real-time-respecting total order "
+            "makes some read return a value other than the latest write"
+        ),
+        culprits=tuple(sorted(must_linearize)),
+    )
 
 
 def check_linearizable(
@@ -33,124 +300,26 @@ def check_linearizable(
         max_states: exploration budget; exceeding it raises rather than
             returning a wrong verdict.
     """
-    ops = list(history.operations)
-    complete_ops = [op for op in ops if op.complete]
-    pending_writes = [op for op in ops if not op.complete and op.is_write]
-    # Incomplete reads never constrain linearizability: they may always
-    # be dropped from the completed history.  Incomplete writes may need
-    # to take effect, so they stay in the candidate pool.
-    pool: List[Operation] = complete_ops + pending_writes
-    pool.sort(key=lambda op: (op.invoked_at, op.op_id))
-
-    must_linearize: FrozenSet[int] = frozenset(op.op_id for op in complete_ops)
-    index_of = {op.op_id: i for i, op in enumerate(pool)}
-
-    # Precompute precedence between pool operations: op a blocks op b if
-    # a precedes b in real time (a must be linearized before b may be).
-    preceders: List[List[int]] = [[] for _ in pool]
-    for i, a in enumerate(pool):
-        for j, b in enumerate(pool):
-            if i != j and a.precedes(b):
-                preceders[j].append(i)
-
-    seen_states: Set[Tuple[FrozenSet[int], Any]] = set()
-    states_visited = 0
-    witness: List[int] = []
-
-    def dfs(linearized: FrozenSet[int], value: Any) -> bool:
-        nonlocal states_visited
-        if must_linearize <= linearized:
-            return True
-        state = (linearized, value)
-        if state in seen_states:
-            return False
-        seen_states.add(state)
-        states_visited += 1
-        if states_visited > max_states:
-            raise RuntimeError(
-                f"linearizability search exceeded {max_states} states; "
-                "the history is too adversarial for this checker"
-            )
-        for j, op in enumerate(pool):
-            if op.op_id in linearized:
-                continue
-            if any(pool[i].op_id not in linearized for i in preceders[j]):
-                continue  # a predecessor is still unlinearized
-            if op.is_read:
-                if not op.complete:
-                    continue  # dropped; never linearized
-                if op.result != value:
-                    continue
-                next_value = value
-            else:
-                next_value = op.value
-            witness.append(op.op_id)
-            if dfs(linearized | {op.op_id}, next_value):
-                return True
-            witness.pop()
-        return False
-
-    if dfs(frozenset(), BOTTOM):
+    pool, must_linearize = _build_pool(history)
+    writes = _swmr_write_order(pool)
+    if writes is not None:
+        ok = _check_swmr_fast(pool, writes)
+    else:
+        ok = _search_segmented(pool, max_states) is not None
+    if ok:
         return Verdict(ok=True, property_name=PROPERTY)
-    return Verdict(
-        ok=False,
-        property_name=PROPERTY,
-        reason=(
-            "no linearization exists: every real-time-respecting total order "
-            "makes some read return a value other than the latest write"
-        ),
-        culprits=tuple(sorted(must_linearize)),
-    )
+    return _failure_verdict(must_linearize)
 
 
 def find_linearization(history: History) -> Optional[List[int]]:
     """Return a witness linearization (operation ids) or ``None``.
 
     Same search as :func:`check_linearizable`, but exposes the order for
-    examples and debugging.
+    examples and debugging (and therefore always runs the general
+    segmented search — the fast path decides without building an order).
     """
-    ops = list(history.operations)
-    complete_ops = [op for op in ops if op.complete]
-    pending_writes = [op for op in ops if not op.complete and op.is_write]
-    pool = sorted(
-        complete_ops + pending_writes, key=lambda op: (op.invoked_at, op.op_id)
-    )
-    must = frozenset(op.op_id for op in complete_ops)
-
-    preceders: List[List[int]] = [[] for _ in pool]
-    for i, a in enumerate(pool):
-        for j, b in enumerate(pool):
-            if i != j and a.precedes(b):
-                preceders[j].append(i)
-
-    seen: Set[Tuple[FrozenSet[int], Any]] = set()
-
-    def dfs(linearized: FrozenSet[int], value: Any, acc: List[int]) -> Optional[List[int]]:
-        if must <= linearized:
-            return list(acc)
-        state = (linearized, value)
-        if state in seen:
-            return None
-        seen.add(state)
-        for j, op in enumerate(pool):
-            if op.op_id in linearized:
-                continue
-            if any(pool[i].op_id not in linearized for i in preceders[j]):
-                continue
-            if op.is_read:
-                if not op.complete or op.result != value:
-                    continue
-                next_value = value
-            else:
-                next_value = op.value
-            acc.append(op.op_id)
-            found = dfs(linearized | {op.op_id}, next_value, acc)
-            if found is not None:
-                return found
-            acc.pop()
-        return None
-
-    return dfs(frozenset(), BOTTOM, [])
+    pool, _ = _build_pool(history)
+    return _search_segmented(pool, max_states=2_000_000)
 
 
 def check_mwmr_p1_p2(history: History) -> Verdict:

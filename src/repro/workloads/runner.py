@@ -5,12 +5,19 @@ workload (plus optional fault plans and Byzantine replacements), runs
 the simulation to quiescence and returns a :class:`RunResult` bundling
 the history, the trace and the verdicts — the unit every benchmark and
 integration test is built from.
+
+Every run carries a :class:`~repro.spec.online.HistoryValidator` that is
+fed operations online (via the simulation's response hook) and computes
+each correctness verdict exactly once: ``check_atomic`` here, a sweep
+summary in :mod:`repro.sim.batch` and a report section in
+:mod:`repro.analysis.report` all share the same cached judgement instead
+of re-running the search.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.faults.crash import CrashPlan
 from repro.registers.base import Cluster, ClusterConfig
@@ -18,11 +25,8 @@ from repro.registers.registry import get_protocol
 from repro.sim.latency import LatencyModel
 from repro.sim.runtime import Simulation
 from repro.sim.trace import TraceLog
-from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.fastness import check_all_fast, rounds_histogram
 from repro.spec.histories import History, Verdict
-from repro.spec.linearizability import check_linearizable
-from repro.spec.regularity import check_swmr_regularity
+from repro.spec.online import HistoryValidator
 from repro.workloads.generators import ClosedLoopWorkload, WorkloadDriver
 
 ClusterHook = Callable[[Cluster], None]
@@ -38,35 +42,37 @@ class RunResult:
     trace: TraceLog
     sim: Simulation
     events_executed: int
+    validator: Optional[HistoryValidator] = None
+
+    @property
+    def validation(self) -> HistoryValidator:
+        """The run's validator (verdicts cached, computed on demand)."""
+        if self.validator is None:
+            from repro.spec.online import validate_history
+
+            self.validator = validate_history(
+                self.history, trace=self.trace, swmr=self.config.W == 1
+            )
+        return self.validator
 
     def check_atomic(self) -> Verdict:
         """SWMR atomicity for single-writer runs, linearizability else."""
-        if self.config.W == 1:
-            return check_swmr_atomicity(self.history)
-        return check_linearizable(self.history)
+        return self.validation.atomic_verdict()
 
     def check_regular(self) -> Verdict:
-        return check_swmr_regularity(self.history)
+        return self.validation.regular_verdict()
 
     def check_fast(self) -> Verdict:
-        return check_all_fast(self.trace, self.history)
+        return self.validation.fast_verdict()
 
     def rounds(self):
-        return rounds_histogram(self.trace, self.history)
+        return self.validation.rounds_histogram()
 
-    def read_latencies(self):
-        return [
-            op.responded_at - op.invoked_at
-            for op in self.history.reads
-            if op.complete
-        ]
+    def read_latencies(self) -> List[float]:
+        return self.validation.read_latencies
 
-    def write_latencies(self):
-        return [
-            op.responded_at - op.invoked_at
-            for op in self.history.writes
-            if op.complete
-        ]
+    def write_latencies(self) -> List[float]:
+        return self.validation.write_latencies
 
     def messages_sent(self) -> int:
         return self.sim.network.sent_count
@@ -110,6 +116,12 @@ def run_workload(
         crash_plan.arm(sim)
     driver = WorkloadDriver(sim, config, workload, seed=seed)
     driver.arm()
+    # The validator rides along and is fed every completed operation
+    # online; verdicts are then computed once, on demand, and cached.
+    validator = HistoryValidator(
+        sim.history, trace=sim.trace, swmr=config.W == 1
+    )
+    sim.on_response(validator.observe_response)
     events = sim.run(max_events=max_events)
     return RunResult(
         protocol=protocol,
@@ -118,4 +130,5 @@ def run_workload(
         trace=sim.trace,
         sim=sim,
         events_executed=events,
+        validator=validator,
     )

@@ -1,0 +1,293 @@
+"""Frozen replicas of the seed-revision checkers.
+
+The fast verification pipeline (bitmask linearizability search,
+quiescent segmentation, SWMR interval fast path, bisect-based atomicity
+and regularity, single-pass fastness scan) must be **bit-identical in
+verdict** to the checkers the repository was seeded with.  This module
+preserves those originals verbatim (modulo ``seed_`` renames) so
+property tests can cross-validate the new pipeline against them on
+randomly generated histories and golden corpora.
+
+Keep this module in sync with nothing: it is a frozen snapshot, not
+production code.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import SpecificationError
+from repro.sim.trace import DELIVER, SEND, TraceLog
+from repro.spec.histories import BOTTOM, History, Operation, Verdict
+
+LINEARIZABILITY_PROPERTY = "linearizability (read/write register)"
+ATOMICITY_PROPERTY = "SWMR atomicity (Section 3.1)"
+REGULARITY_PROPERTY = "SWMR regularity"
+
+
+def seed_check_linearizable(
+    history: History, max_states: int = 2_000_000
+) -> Verdict:
+    """The seed revision's frozenset-keyed Wing & Gong search."""
+    ops = list(history.operations)
+    complete_ops = [op for op in ops if op.complete]
+    pending_writes = [op for op in ops if not op.complete and op.is_write]
+    pool: List[Operation] = complete_ops + pending_writes
+    pool.sort(key=lambda op: (op.invoked_at, op.op_id))
+
+    must_linearize: FrozenSet[int] = frozenset(op.op_id for op in complete_ops)
+
+    preceders: List[List[int]] = [[] for _ in pool]
+    for i, a in enumerate(pool):
+        for j, b in enumerate(pool):
+            if i != j and a.precedes(b):
+                preceders[j].append(i)
+
+    seen_states: Set[Tuple[FrozenSet[int], Any]] = set()
+    states_visited = 0
+    witness: List[int] = []
+
+    def dfs(linearized: FrozenSet[int], value: Any) -> bool:
+        nonlocal states_visited
+        if must_linearize <= linearized:
+            return True
+        state = (linearized, value)
+        if state in seen_states:
+            return False
+        seen_states.add(state)
+        states_visited += 1
+        if states_visited > max_states:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_states} states; "
+                "the history is too adversarial for this checker"
+            )
+        for j, op in enumerate(pool):
+            if op.op_id in linearized:
+                continue
+            if any(pool[i].op_id not in linearized for i in preceders[j]):
+                continue  # a predecessor is still unlinearized
+            if op.is_read:
+                if not op.complete:
+                    continue  # dropped; never linearized
+                if op.result != value:
+                    continue
+                next_value = value
+            else:
+                next_value = op.value
+            witness.append(op.op_id)
+            if dfs(linearized | {op.op_id}, next_value):
+                return True
+            witness.pop()
+        return False
+
+    if dfs(frozenset(), BOTTOM):
+        return Verdict(ok=True, property_name=LINEARIZABILITY_PROPERTY)
+    return Verdict(
+        ok=False,
+        property_name=LINEARIZABILITY_PROPERTY,
+        reason=(
+            "no linearization exists: every real-time-respecting total order "
+            "makes some read return a value other than the latest write"
+        ),
+        culprits=tuple(sorted(must_linearize)),
+    )
+
+
+def seed_check_swmr_atomicity(history: History) -> Verdict:
+    """The seed revision's Section 3.1 checker (linear condition scans)."""
+    if not history.single_writer():
+        raise SpecificationError(
+            "SWMR atomicity is defined for single-writer histories; "
+            "use the general linearizability checker for multi-writer runs"
+        )
+    writes = history.writes_in_order()
+    values = [BOTTOM] + [op.value for op in writes]
+
+    indices_of: Dict[Any, List[int]] = {}
+    for k, value in enumerate(values):
+        indices_of.setdefault(value, []).append(k)
+
+    complete_reads = sorted(
+        (op for op in history.reads if op.complete),
+        key=lambda op: (op.responded_at, op.op_id),
+    )
+
+    response_times: List[float] = []
+    prefix_max_index: List[int] = []
+
+    def condition4_lower_bound(rd: Operation) -> int:
+        pos = bisect.bisect_left(response_times, rd.invoked_at)
+        if pos == 0:
+            return 0
+        return prefix_max_index[pos - 1]
+
+    for rd in complete_reads:
+        feasible = indices_of.get(rd.result)
+        if not feasible:
+            return Verdict(
+                ok=False,
+                property_name=ATOMICITY_PROPERTY,
+                reason=(
+                    f"condition 1: read returned {rd.result!r}, which no "
+                    "write wrote and is not the initial value"
+                ),
+                culprits=(rd.op_id,),
+            )
+
+        low = 0
+        for k in range(len(writes), 0, -1):
+            if writes[k - 1].precedes(rd):
+                low = k
+                break
+
+        low = max(low, condition4_lower_bound(rd))
+
+        chosen: Optional[int] = None
+        for k in feasible:
+            if k < low:
+                continue
+            if k >= 1 and rd.precedes(writes[k - 1]):
+                continue
+            chosen = k
+            break
+
+        if chosen is None:
+            return _seed_explain_failure(rd, feasible, low, writes)
+
+        response_times.append(rd.responded_at)
+        best = chosen if not prefix_max_index else max(prefix_max_index[-1], chosen)
+        prefix_max_index.append(best)
+
+    return Verdict(ok=True, property_name=ATOMICITY_PROPERTY)
+
+
+def _seed_explain_failure(
+    rd: Operation, feasible: List[int], low: int, writes: List[Operation]
+) -> Verdict:
+    below = [k for k in feasible if k < low]
+    future = [
+        k for k in feasible if k >= 1 and rd.precedes(writes[k - 1])
+    ]
+    if below and len(below) == len(feasible):
+        reason = (
+            f"conditions 2/4: read returned {rd.result!r} "
+            f"(write index candidates {feasible}) but must return index >= {low} "
+            "because of a preceding write or a preceding read"
+        )
+    elif future and len(future) == len(feasible):
+        reason = (
+            f"condition 3: read returned {rd.result!r} but every write of that "
+            "value was invoked only after the read responded"
+        )
+    else:
+        reason = (
+            f"no write index for result {rd.result!r} satisfies conditions 2-4 "
+            f"simultaneously (candidates {feasible}, lower bound {low})"
+        )
+    return Verdict(
+        ok=False, property_name=ATOMICITY_PROPERTY, reason=reason, culprits=(rd.op_id,)
+    )
+
+
+def _seed_allowed_results(rd: Operation, writes: List[Operation]) -> Set:
+    allowed = set()
+    last_preceding = None
+    for k, wr in enumerate(writes):
+        if wr.precedes(rd):
+            last_preceding = k
+    if last_preceding is None:
+        allowed.add(BOTTOM)
+    else:
+        allowed.add(writes[last_preceding].value)
+    for wr in writes:
+        if wr.concurrent_with(rd):
+            allowed.add(wr.value)
+    return allowed
+
+
+def seed_check_swmr_regularity(history: History) -> Verdict:
+    """The seed revision's regularity checker (per-read write scans)."""
+    if not history.single_writer():
+        raise SpecificationError("regularity checker expects a single writer")
+    writes = history.writes_in_order()
+    for rd in history.reads:
+        if not rd.complete:
+            continue
+        allowed = _seed_allowed_results(rd, writes)
+        if rd.result not in allowed:
+            return Verdict(
+                ok=False,
+                property_name=REGULARITY_PROPERTY,
+                reason=(
+                    f"read returned {rd.result!r}; regular semantics allow only "
+                    f"{sorted(map(repr, allowed))}"
+                ),
+                culprits=(rd.op_id,),
+            )
+    return Verdict(ok=True, property_name=REGULARITY_PROPERTY)
+
+
+def seed_server_replies_immediate(trace: TraceLog, op: Operation) -> bool:
+    """The seed revision's per-operation trace rescan."""
+    events = trace.for_op(op.op_id)
+    for event in events:
+        if event.kind != SEND or event.pid == op.proc or event.env is None:
+            continue
+        if event.env.dst != op.proc:
+            continue
+        replier = event.pid
+        request_seq: Optional[int] = None
+        for earlier in trace.events:
+            if earlier.seq >= event.seq:
+                break
+            if (
+                earlier.kind == DELIVER
+                and earlier.pid == replier
+                and earlier.env is not None
+                and earlier.env.src == op.proc
+                and earlier.op_id == op.op_id
+            ):
+                request_seq = earlier.seq
+        if request_seq is None:
+            return False
+        for mid in trace.events:
+            if mid.seq <= request_seq:
+                continue
+            if mid.seq >= event.seq:
+                break
+            if mid.kind == DELIVER and mid.pid == replier:
+                return False
+    return True
+
+
+def seed_client_rounds(trace: TraceLog, op: Operation) -> int:
+    steps = {
+        event.step_id
+        for event in trace.sends_by(op.proc, op_id=op.op_id)
+    }
+    return len(steps)
+
+
+def seed_check_all_fast(
+    trace: TraceLog,
+    history: History,
+    kinds: Tuple[str, ...] = ("read", "write"),
+) -> Verdict:
+    """The seed revision's fastness verdict (rescans per operation)."""
+    slow: List[int] = []
+    for op in history.complete_operations:
+        if op.kind not in kinds:
+            continue
+        rounds = seed_client_rounds(trace, op)
+        immediate = seed_server_replies_immediate(trace, op)
+        if not (rounds == 1 and immediate):
+            slow.append(op.op_id)
+    if slow:
+        return Verdict(
+            ok=False,
+            property_name="fast implementation (Section 3.2)",
+            reason="operations took more than one communication round-trip",
+            culprits=tuple(slow),
+        )
+    return Verdict(ok=True, property_name="fast implementation (Section 3.2)")

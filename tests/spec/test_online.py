@@ -1,0 +1,150 @@
+"""Tests for the online HistoryValidator and the single-pass fastness scan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registers.base import ClusterConfig
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.spec.fastness import analyze_operation, check_all_fast, scan_trace
+from repro.spec.online import HistoryValidator, validate_history
+from repro.workloads import ClosedLoopWorkload, run_workload
+
+from tests.spec._seed_checkers import seed_check_all_fast
+
+CONFIG = ClusterConfig(S=8, t=1, R=3)
+
+
+def _traced_run(protocol="fast-crash", seed=3, latency=None):
+    return run_workload(
+        protocol,
+        CONFIG,
+        workload=ClosedLoopWorkload(reads_per_reader=6, writes_per_writer=4),
+        seed=seed,
+        latency=latency or UniformLatency(0.5, 1.5),
+    )
+
+
+class TestFastnessScan:
+    def test_scan_matches_per_op_analysis(self):
+        """The one-pass scan reproduces every per-operation rescan."""
+        result = _traced_run()
+        scan = scan_trace(result.trace, result.history)
+        for op in result.history.complete_operations:
+            assert scan.timing(op) == analyze_operation(result.trace, op), (
+                op.describe()
+            )
+
+    def test_scan_matches_per_op_analysis_two_round_protocol(self):
+        """ABD reads take two rounds; the scan must see that too."""
+        result = _traced_run(protocol="abd", seed=5)
+        scan = scan_trace(result.trace, result.history)
+        for op in result.history.complete_operations:
+            assert scan.timing(op) == analyze_operation(result.trace, op)
+
+    def test_verdict_identical_to_seed_checker(self):
+        for protocol in ("fast-crash", "abd", "maxmin"):
+            result = _traced_run(protocol=protocol, seed=7)
+            assert check_all_fast(result.trace, result.history) == (
+                seed_check_all_fast(result.trace, result.history)
+            )
+
+
+class TestHistoryValidator:
+    def test_run_results_carry_a_fed_validator(self):
+        result = _traced_run()
+        validator = result.validation
+        complete = result.history.complete_operations
+        assert validator.ops_complete == len(complete)
+        reads = [op for op in complete if op.is_read]
+        assert len(validator.read_latencies) == len(reads)
+        assert sorted(validator.read_latencies) == sorted(
+            op.responded_at - op.invoked_at for op in reads
+        )
+
+    def test_verdicts_match_direct_checkers(self):
+        from repro.spec.atomicity import check_swmr_atomicity
+        from repro.spec.regularity import check_swmr_regularity
+
+        result = _traced_run()
+        assert result.check_atomic() == check_swmr_atomicity(result.history)
+        assert result.check_regular() == check_swmr_regularity(result.history)
+        assert result.check_fast() == check_all_fast(result.trace, result.history)
+
+    def test_verdicts_computed_once(self, monkeypatch):
+        """Repeat checks (runner, report, CLI) must not re-run the search."""
+        import repro.spec.online as online
+
+        calls = {"atomic": 0}
+        real = online.check_swmr_atomicity
+
+        def counting(history):
+            calls["atomic"] += 1
+            return real(history)
+
+        monkeypatch.setattr(online, "check_swmr_atomicity", counting)
+        result = _traced_run()
+        assert result.check_atomic() == result.check_atomic()
+        result.check_atomic()
+        assert calls["atomic"] == 1
+
+    def test_rounds_histogram_matches_legacy(self):
+        from repro.spec.fastness import rounds_histogram
+
+        result = _traced_run(protocol="abd", seed=2)
+        assert result.rounds() == rounds_histogram(result.trace, result.history)
+
+    def test_validate_history_standalone(self):
+        result = _traced_run(latency=ConstantLatency(1.0))
+        validator = validate_history(result.history, trace=result.trace)
+        assert validator.ops_complete == len(result.history.complete_operations)
+        assert validator.atomic_verdict().ok
+        assert validator.fast_verdict().ok
+
+    def test_swmr_hint_selects_checker(self):
+        """W == 1 must keep using the Section 3.1 checker, exactly as the
+        old RunResult did."""
+        result = _traced_run()
+        assert result.config.W == 1
+        assert "SWMR atomicity" in result.check_atomic().property_name
+
+    def test_multi_writer_runs_use_linearizability(self):
+        config = ClusterConfig(S=6, t=1, R=2, W=2)
+        result = run_workload(
+            "mwmr",
+            config,
+            workload=ClosedLoopWorkload(reads_per_reader=4, writes_per_writer=3),
+            seed=1,
+            latency=ConstantLatency(1.0),
+        )
+        assert "linearizability" in result.check_atomic().property_name
+        assert result.check_atomic().ok
+
+    def test_streamed_trace_equals_drained_trace(self):
+        """Feeding events one at a time gives the same fastness verdict."""
+        result = _traced_run()
+        streamed = HistoryValidator(result.history, trace=result.trace, swmr=True)
+        for event in result.trace.events:
+            streamed.observe_trace(event)
+        assert streamed.fast_verdict() == result.check_fast()
+
+
+class TestValidatorAndSweepAgree:
+    def test_execute_spec_uses_cached_judgement(self):
+        """Sweep summaries equal a from-scratch re-check of the same run."""
+        from repro.sim.batch import SweepSpec, execute_spec
+
+        spec = SweepSpec(
+            protocol="fast-crash",
+            scenario="smoke",
+            config=CONFIG,
+            seed=11,
+        )
+        summary = execute_spec(spec)
+        assert summary.atomic_ok is True
+        assert summary.ops_complete > 0
+        assert summary.read.count + summary.write.count == summary.ops_complete
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
