@@ -15,6 +15,11 @@ the library's main artefacts without writing code:
   --dump-history out.json`` produces one): every applicable checker runs
   and prints its per-property verdict, making golden corpora shareable
   and re-checkable standalone.
+* ``repro explore`` — bounded model checking over message schedules,
+  crash points and quorum choices: exhaustive up to a depth (with
+  partial-order reduction) or seeded random walks beyond it; violating
+  schedules are shrunk and saved as replayable counterexamples
+  (``repro explore --replay file.json``).
 """
 
 from __future__ import annotations
@@ -239,6 +244,118 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+    import os
+
+    from repro.analysis.report import render_explore_stats
+    from repro.explore import (
+        Counterexample,
+        ExploreScenario,
+        explore_parallel,
+        get_target,
+        random_walks_parallel,
+        replay_counterexample,
+    )
+
+    if args.replay:
+        import json as json_mod
+
+        from repro.errors import ReproError, ScheduleError
+
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                counterexample = Counterexample.from_json(handle.read())
+        except (OSError, json_mod.JSONDecodeError, KeyError, ReproError) as exc:
+            print(f"explore: cannot load {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        print(counterexample.describe())
+        print()
+        try:
+            report = replay_counterexample(counterexample)
+        except ScheduleError as exc:
+            print(
+                f"explore: schedule no longer replays: {exc}", file=sys.stderr
+            )
+            return 1
+        for key, value in sorted(report.items()):
+            print(f"{key}: {value}")
+        return 0 if all(report.values()) else 1
+
+    if args.protocol is None:
+        print("explore: --protocol is required (unless --replay)", file=sys.stderr)
+        return 2
+    try:
+        target = get_target(args.protocol)
+    except KeyError as exc:
+        print(f"explore: {exc}", file=sys.stderr)
+        return 2
+    from repro.errors import ReproError
+
+    try:
+        config = ClusterConfig(
+            S=args.servers, t=args.t, R=args.readers, W=args.writers
+        )
+        scenario = ExploreScenario(
+            target=target.name,
+            config=config,
+            writes_per_writer=args.writes,
+            reads_per_reader=args.reads,
+            crash_budget=args.crashes,
+        )
+    except ReproError as exc:
+        print(f"explore: {exc}", file=sys.stderr)
+        return 2
+    if args.mode == "exhaustive":
+        result = explore_parallel(
+            scenario,
+            depth=args.depth,
+            reduce=not args.no_reduce,
+            parallel=args.parallel,
+            max_transitions=args.max_transitions,
+            max_counterexamples=args.max_counterexamples,
+            shrink=not args.no_shrink,
+        )
+    else:
+        result = random_walks_parallel(
+            scenario,
+            depth=args.depth,
+            walks=args.walks,
+            seed=args.seed,
+            parallel=args.parallel,
+            max_counterexamples=args.max_counterexamples,
+            shrink=not args.no_shrink,
+            policy=args.policy,
+        )
+    if args.format == "json":
+        payload = {
+            "scenario": scenario.to_dict(),
+            "mode": result.mode,
+            "depth": result.depth,
+            "complete": result.complete,
+            "stats": result.stats.to_dict(),
+            "counterexamples": [ce.to_dict() for ce in result.counterexamples],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_explore_stats(result))
+        for counterexample in result.counterexamples:
+            print()
+            print(counterexample.describe())
+    if args.save and result.counterexamples:
+        os.makedirs(args.save, exist_ok=True)
+        for counterexample in result.counterexamples:
+            text = counterexample.to_json()
+            digest = hashlib.sha256(text.encode("utf8")).hexdigest()[:10]
+            name = f"{target.name.replace('@', '--')}-{digest}.json"
+            path = os.path.join(args.save, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"counterexample written to {path}", file=sys.stderr)
+    return 1 if result.found_violation else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = ClusterConfig(
         S=args.servers, t=args.t, R=args.readers, W=args.writers
@@ -350,6 +467,69 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROTOCOLS),
     )
     cmp_.set_defaults(fn=_cmd_compare)
+
+    xpl = sub.add_parser(
+        "explore",
+        help="bounded model checking over message schedules, crash points "
+        "and quorum choices (see also: explore --replay FILE)",
+    )
+    xpl.add_argument(
+        "--protocol",
+        default=None,
+        help="explore target: any registry protocol or an ablation such as "
+        "fast-crash@eager-reader (underscores normalise to hyphens)",
+    )
+    xpl.add_argument(
+        "--mode", default="exhaustive", choices=["exhaustive", "random"]
+    )
+    xpl.add_argument("--depth", type=int, default=8, help="max actions per schedule")
+    xpl.add_argument("--servers", type=int, default=4)
+    xpl.add_argument("--t", type=int, default=1)
+    xpl.add_argument("--readers", type=int, default=1)
+    xpl.add_argument("--writers", type=int, default=1)
+    xpl.add_argument("--writes", type=int, default=1, help="writes per writer")
+    xpl.add_argument("--reads", type=int, default=1, help="reads per reader")
+    xpl.add_argument(
+        "--crashes", type=int, default=0, help="server-crash budget (<= t)"
+    )
+    xpl.add_argument("--walks", type=int, default=1000, help="random mode: walk count")
+    xpl.add_argument("--seed", type=int, default=0, help="random mode: root seed")
+    xpl.add_argument(
+        "--policy",
+        default="mixed",
+        choices=["mixed", "uniform", "quorum"],
+        help="random mode: walk policy (uniform action picks, "
+        "construction-shaped quorum walks, or alternate between them)",
+    )
+    xpl.add_argument(
+        "--parallel", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    xpl.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="disable the sleep-set partial-order reduction",
+    )
+    xpl.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep counterexample schedules as found (skip minimisation)",
+    )
+    xpl.add_argument("--max-transitions", type=int, default=2_000_000)
+    xpl.add_argument("--max-counterexamples", type=int, default=1)
+    xpl.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write each counterexample as replayable JSON into DIR",
+    )
+    xpl.add_argument("--format", default="text", choices=["text", "json"])
+    xpl.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="re-run a saved counterexample and verify it byte-for-byte",
+    )
+    xpl.set_defaults(fn=_cmd_explore)
 
     swp = sub.add_parser(
         "sweep",

@@ -1,0 +1,384 @@
+"""The explorer's choice-point model over :class:`ScriptedExecution`.
+
+A schedule is a sequence of *actions*, each named by a stable string
+label.  The driver owns one scripted execution plus a small operation
+program per client, and at every step exposes the set of enabled
+actions; an adversary (exhaustive, random or replayed) picks one.  The
+vocabulary:
+
+``invoke:<client>``
+    Invoke the client's next programmed operation; its messages land in
+    transit, undelivered.
+``serve:<client>#<k>:<server>``
+    Deliver the oldest in-transit request of the client's ``k``-th
+    operation to ``server`` and, if the server answered immediately and
+    the operation is still pending, deliver that answer straight back —
+    one choice covers the common request/ack round-trip, which is what
+    keeps bounded-exhaustive depths meaningful.  Requests of *completed*
+    operations stay deliverable: late-arriving messages mutate server
+    state and are exactly the stale deliveries the paper's constructions
+    exploit.
+``reply:<client>#<k>:<server>``
+    Deliver the oldest withheld reply of that operation from ``server``
+    (needed when servers answer asynchronously, e.g. after a gossip
+    round, or when a serve found the op already complete).
+``msg:<src>:<dst>[:<client>#<k>]``
+    Deliver the oldest in-transit envelope on a non-client link
+    (server-to-server gossip), scoped to the named operation when the
+    payload carries one — so same-link gossip of different operations
+    can overtake.
+``crash:<server>``
+    Crash a server, consuming one unit of the crash budget.
+
+Messages on one (operation, link) queue deliver in FIFO order; the
+adversary chooses freely *across* queues.  Labels are deterministic
+functions of the prefix executed so far, so a schedule replays
+byte-exactly and remains meaningful under shrinking (removing one
+client's actions never renames another's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.explore.targets import ExploreTarget, get_target
+from repro.registers.base import ClusterConfig
+from repro.sim.controller import ScriptedExecution
+from repro.sim.ids import ProcessId
+from repro.sim.messages import Envelope
+from repro.spec.histories import History, Operation, parse_pid
+
+
+@dataclass(frozen=True)
+class ExploreScenario:
+    """A fully deterministic exploration setup (picklable: names + ints).
+
+    ``crash_budget`` bounds how many servers the adversary may crash
+    (capped by the model's ``t``).  Write values are ``1, 2, ...`` for a
+    single writer and ``"w2.1"``-style strings when several writers must
+    stay distinguishable.
+    """
+
+    target: str
+    config: ClusterConfig
+    writes_per_writer: int = 1
+    reads_per_reader: int = 1
+    crash_budget: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crash_budget > self.config.t:
+            raise ScheduleError(
+                f"crash budget {self.crash_budget} exceeds the model's "
+                f"t={self.config.t}"
+            )
+
+    def resolve(self) -> ExploreTarget:
+        return get_target(self.target)
+
+    def to_dict(self) -> Dict:
+        return {
+            "target": self.target,
+            "config": {
+                "S": self.config.S,
+                "t": self.config.t,
+                "R": self.config.R,
+                "W": self.config.W,
+                "b": self.config.b,
+            },
+            "writes_per_writer": self.writes_per_writer,
+            "reads_per_reader": self.reads_per_reader,
+            "crash_budget": self.crash_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ExploreScenario":
+        return cls(
+            target=payload["target"],
+            config=ClusterConfig(**payload["config"]),
+            writes_per_writer=int(payload["writes_per_writer"]),
+            reads_per_reader=int(payload["reads_per_reader"]),
+            crash_budget=int(payload["crash_budget"]),
+        )
+
+
+@dataclass(frozen=True)
+class Action:
+    """One enabled choice.
+
+    ``footprint`` lists the processes whose state the action may touch.
+    Two actions are *independent* — and the sleep-set reduction may
+    prune one of their two orders — when their footprints are disjoint
+    and they are not an invocation paired with a possibly
+    response-completing delivery.  Swapping such an adjacent pair moves
+    timestamps by one tick but never reorders a response relative to an
+    invocation, so the real-time precedence relation every verdict is a
+    function of is preserved; the invocation/completion pairing is
+    exactly the case where it would not be.
+    """
+
+    label: str
+    footprint: FrozenSet[ProcessId]
+    is_invocation: bool = False
+    completes: bool = False
+
+    def independent_of(self, other: "Action") -> bool:
+        if self.footprint & other.footprint:
+            return False
+        if self.is_invocation and other.completes:
+            return False
+        if other.is_invocation and self.completes:
+            return False
+        return True
+
+
+@dataclass
+class _ClientProgram:
+    """Remaining scripted operations of one client."""
+
+    pid: ProcessId
+    ops: List[Tuple[str, object]]
+    issued: int = 0
+    operations: List[Operation] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.issued >= len(self.ops)
+
+
+class ScheduleDriver:
+    """Drives one scenario instance action by action.
+
+    The driver is cheap to construct; stateless exploration rebuilds one
+    per path prefix (a few dozen automaton steps), which is far simpler
+    and, at these depths, faster than snapshotting process state.
+    """
+
+    def __init__(self, scenario: ExploreScenario) -> None:
+        self.scenario = scenario
+        self.target = scenario.resolve()
+        self.execution = ScriptedExecution(record_trace=False)
+        cluster = self.target.build(scenario.config)
+        cluster.install(self.execution)
+        self.cluster = cluster
+        self.config = scenario.config
+        self.schedule: List[str] = []
+        self.crashes_used = 0
+        self._programs: Dict[ProcessId, _ClientProgram] = {}
+        self._op_labels: Dict[int, str] = {}
+        self._ops_by_label: Dict[str, Operation] = {}
+        for pid in scenario.config.writer_ids:
+            values: List[object] = [
+                k if scenario.config.W == 1 else f"{pid}.{k}"
+                for k in range(1, scenario.writes_per_writer + 1)
+            ]
+            self._programs[pid] = _ClientProgram(
+                pid, [("write", value) for value in values]
+            )
+        for pid in scenario.config.reader_ids:
+            self._programs[pid] = _ClientProgram(
+                pid, [("read", None)] * scenario.reads_per_reader
+            )
+
+    # ------------------------------------------------------------------
+    # observation
+
+    @property
+    def history(self) -> History:
+        return self.execution.history
+
+    def responses(self) -> int:
+        return sum(1 for op in self.history.operations if op.complete)
+
+    def operation(self, op_label: str) -> Operation:
+        """The operation named ``<client>#<k>`` (must have been invoked)."""
+        return self._resolve_op(op_label)
+
+    # ------------------------------------------------------------------
+    # enabled actions
+
+    def enabled(self) -> List[Action]:
+        """All currently enabled actions, in label order (deterministic)."""
+        actions: List[Action] = []
+        for pid, program in sorted(self._programs.items()):
+            client = self.execution.processes[pid]
+            if (
+                not program.exhausted
+                and not client.crashed
+                and client.current_op is None
+            ):
+                actions.append(
+                    Action(
+                        label=f"invoke:{pid}",
+                        footprint=frozenset((pid,)),
+                        is_invocation=True,
+                    )
+                )
+        if self.crashes_used < min(self.scenario.crash_budget, self.config.t):
+            for pid in self.config.server_ids:
+                if not self.execution.processes[pid].crashed:
+                    actions.append(
+                        Action(label=f"crash:{pid}", footprint=frozenset((pid,)))
+                    )
+        seen_labels = set()
+        for env in self.execution.network.transit:
+            action = self._classify(env)
+            if action is None or action.label in seen_labels:
+                continue
+            seen_labels.add(action.label)
+            actions.append(action)
+        actions.sort(key=lambda action: action.label)
+        return actions
+
+    def _classify(self, env: Envelope) -> Optional[Action]:
+        """Map one in-transit envelope to its action, or ``None``."""
+        if self.execution.processes[env.dst].crashed:
+            return None
+        op_label = self._op_labels.get(env.op_id) if env.op_id is not None else None
+        if op_label is not None and env.src.is_client and env.dst.is_server:
+            op = self._ops_by_label[op_label]
+            if op.complete:
+                # A stale request: mutates the server, cannot complete a
+                # response (the auto-reply is skipped for finished ops).
+                return Action(
+                    label=f"serve:{op_label}:{env.dst}",
+                    footprint=frozenset((env.dst,)),
+                )
+            return Action(
+                label=f"serve:{op_label}:{env.dst}",
+                footprint=frozenset((env.dst, env.src)),
+                completes=True,
+            )
+        if op_label is not None and env.src.is_server and env.dst.is_client:
+            op = self._ops_by_label[op_label]
+            if op.complete:
+                return None  # a stale ack; the client ignores it
+            return Action(
+                label=f"reply:{op_label}:{env.src}",
+                footprint=frozenset((env.dst,)),
+                completes=True,
+            )
+        # Non-client links (server-to-server gossip): one FIFO queue per
+        # (link, operation) so gossip of a later operation may overtake
+        # gossip of an earlier one on the same link.
+        suffix = f":{op_label}" if op_label is not None else ""
+        return Action(
+            label=f"msg:{env.src}:{env.dst}{suffix}",
+            footprint=frozenset((env.dst,)),
+        )
+
+    # ------------------------------------------------------------------
+    # applying actions
+
+    def apply(self, label: str) -> None:
+        """Execute one action by label.
+
+        Raises :class:`ScheduleError` when the label is not currently
+        enabled — strict replay relies on this.
+        """
+        kind, _, rest = label.partition(":")
+        if kind == "invoke":
+            self._apply_invoke(rest)
+        elif kind == "crash":
+            self._apply_crash(rest)
+        elif kind == "serve":
+            self._apply_serve(rest)
+        elif kind == "reply":
+            self._apply_reply(rest)
+        elif kind == "msg":
+            self._apply_msg(rest)
+        else:
+            raise ScheduleError(f"malformed action label {label!r}")
+        self.schedule.append(label)
+
+    def run(self, labels) -> None:
+        """Strictly replay a schedule (used by replay verification)."""
+        for label in labels:
+            self.apply(label)
+
+    def _client(self, text: str) -> _ClientProgram:
+        pid = parse_pid(text)
+        program = self._programs.get(pid)
+        if program is None:
+            raise ScheduleError(f"{text} is not a scripted client")
+        return program
+
+    def _apply_invoke(self, client_text: str) -> None:
+        program = self._client(client_text)
+        if program.exhausted:
+            raise ScheduleError(f"{client_text} has no operations left")
+        client = self.execution.processes[program.pid]
+        if client.current_op is not None:
+            raise ScheduleError(
+                f"{client_text} still has a pending operation; cannot invoke"
+            )
+        kind, value = program.ops[program.issued]
+        op = self.execution.invoke(program.pid, kind, value)
+        program.issued += 1
+        program.operations.append(op)
+        op_label = f"{program.pid}#{program.issued}"
+        self._op_labels[op.op_id] = op_label
+        self._ops_by_label[op_label] = op
+
+    def _apply_crash(self, server_text: str) -> None:
+        pid = parse_pid(server_text)
+        if self.execution.processes[pid].crashed:
+            raise ScheduleError(f"{server_text} already crashed")
+        if self.crashes_used >= min(self.scenario.crash_budget, self.config.t):
+            raise ScheduleError("crash budget exhausted")
+        self.execution.crash(pid)
+        self.crashes_used += 1
+
+    def _resolve_op(self, op_label: str) -> Operation:
+        op = self._ops_by_label.get(op_label)
+        if op is None:
+            raise ScheduleError(f"no operation {op_label!r} has been invoked")
+        return op
+
+    def _oldest(
+        self, src: Optional[ProcessId], dst: ProcessId, op_id: Optional[int]
+    ) -> Optional[Envelope]:
+        for env in self.execution.network.transit:
+            if src is not None and env.src != src:
+                continue
+            if env.dst != dst:
+                continue
+            if op_id is not None and env.op_id != op_id:
+                continue
+            return env
+        return None
+
+    def _apply_serve(self, rest: str) -> None:
+        op_label, _, server_text = rest.rpartition(":")
+        server_pid = parse_pid(server_text)
+        op = self._resolve_op(op_label)
+        request = self._oldest(src=op.proc, dst=server_pid, op_id=op.op_id)
+        if request is None:
+            raise ScheduleError(f"no request of {op_label} in transit to {server_text}")
+        self.execution.deliver(request)
+        if not op.complete:
+            reply = self._oldest(src=server_pid, dst=op.proc, op_id=op.op_id)
+            if reply is not None:
+                self.execution.deliver(reply)
+
+    def _apply_reply(self, rest: str) -> None:
+        op_label, _, server_text = rest.rpartition(":")
+        server_pid = parse_pid(server_text)
+        op = self._resolve_op(op_label)
+        reply = self._oldest(src=server_pid, dst=op.proc, op_id=op.op_id)
+        if reply is None:
+            raise ScheduleError(f"no reply of {op_label} in transit from {server_text}")
+        self.execution.deliver(reply)
+
+    def _apply_msg(self, rest: str) -> None:
+        parts = rest.split(":")
+        if len(parts) not in (2, 3):
+            raise ScheduleError(f"malformed msg action msg:{rest}")
+        src = parse_pid(parts[0])
+        dst = parse_pid(parts[1])
+        op_id = self._resolve_op(parts[2]).op_id if len(parts) == 3 else None
+        env = self._oldest(src=src, dst=dst, op_id=op_id)
+        if env is None:
+            raise ScheduleError(f"no envelope in transit on msg:{rest}")
+        self.execution.deliver(env)

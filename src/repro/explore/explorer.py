@@ -1,0 +1,339 @@
+"""Bounded model checking over the schedule space.
+
+Two modes share the driver's choice-point API:
+
+* :func:`explore` — bounded-exhaustive DFS over every schedule up to a
+  depth, with a **sleep-set** partial-order reduction: after a branch
+  explores action ``a``, sibling branches carry ``a`` in their sleep set
+  and skip it while only actions independent of their own first step
+  remain — so of two schedules that differ only by swapping commuting
+  deliveries (different processes touched), one is pruned.  Exploration
+  is stateless (Verisoft-style): backtracking re-executes the prefix,
+  which at these depths is cheaper and far simpler than snapshotting
+  automata.
+* :func:`random_walks` — seeded uniform walks through the same action
+  space for depths exhaustion cannot reach; every seed derives from one
+  root via :func:`repro.sim.rng.substream`, so a sweep of walks is
+  exactly reproducible and trivially shardable.
+
+Both feed each history through the :class:`~repro.explore.oracle.Oracle`
+after every completed operation and, on violation, shrink the schedule
+to a 1-minimal counterexample (see :mod:`repro.explore.oracle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.explore.choices import RandomChooser, drive, quorum_walk
+from repro.explore.driver import Action, ExploreScenario, ScheduleDriver
+from repro.explore.oracle import (
+    Counterexample,
+    Oracle,
+    build_counterexample,
+)
+
+#: Default ceiling on executed transitions per exploration; a guard rail
+#: against accidentally unbounded state spaces, not a tuning knob.
+DEFAULT_MAX_TRANSITIONS = 2_000_000
+
+EXHAUSTIVE = "exhaustive"
+RANDOM = "random"
+
+
+@dataclass
+class ExploreStats:
+    """Coverage/pruning counters of one exploration."""
+
+    transitions: int = 0  # actions executed across all schedules
+    schedules: int = 0  # maximal paths reached (terminal or depth-capped)
+    sleep_pruned: int = 0  # enabled actions skipped by the reduction
+    max_depth_seen: int = 0
+    max_enabled: int = 0
+    violations: int = 0
+
+    def merge(self, other: "ExploreStats") -> None:
+        self.transitions += other.transitions
+        self.schedules += other.schedules
+        self.sleep_pruned += other.sleep_pruned
+        self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
+        self.max_enabled = max(self.max_enabled, other.max_enabled)
+        self.violations += other.violations
+
+    def to_dict(self) -> Dict:
+        return {
+            "transitions": self.transitions,
+            "schedules": self.schedules,
+            "sleep_pruned": self.sleep_pruned,
+            "max_depth_seen": self.max_depth_seen,
+            "max_enabled": self.max_enabled,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one exploration (exhaustive or random)."""
+
+    scenario: ExploreScenario
+    mode: str
+    depth: int
+    reduce: bool
+    stats: ExploreStats
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    complete: bool = True  # False when the transition budget truncated DFS
+    walks: int = 0
+    seed: Optional[int] = None
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.counterexamples)
+
+    def merge(self, other: "ExploreResult") -> "ExploreResult":
+        """Order-independent merge used by the parallel fan-out."""
+        merged = ExploreResult(
+            scenario=self.scenario,
+            mode=self.mode,
+            depth=self.depth,
+            reduce=self.reduce,
+            stats=ExploreStats(**self.stats.to_dict()),
+            counterexamples=list(self.counterexamples),
+            complete=self.complete and other.complete,
+            walks=self.walks + other.walks,
+            seed=self.seed if self.seed is not None else other.seed,
+        )
+        merged.stats.merge(other.stats)
+        seen = {ce.key() for ce in merged.counterexamples}
+        for ce in other.counterexamples:
+            if ce.key() not in seen:
+                seen.add(ce.key())
+                merged.counterexamples.append(ce)
+        # Canonical order regardless of which shard finished first.
+        merged.counterexamples.sort(key=lambda ce: ce.key())
+        return merged
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+        self.exhausted = False
+
+    def tick(self) -> bool:
+        self.spent += 1
+        if self.spent >= self.limit:
+            self.exhausted = True
+        return not self.exhausted
+
+
+def _replay_prefix(scenario: ExploreScenario, prefix: Sequence[str]) -> ScheduleDriver:
+    driver = ScheduleDriver(scenario)
+    driver.run(prefix)
+    return driver
+
+
+def explore(
+    scenario: ExploreScenario,
+    depth: int,
+    reduce: bool = True,
+    max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+    max_counterexamples: int = 1,
+    shrink: bool = True,
+    first_action: Optional[str] = None,
+    root_sleep: Optional[Sequence[Action]] = None,
+) -> ExploreResult:
+    """Enumerate every schedule of ``scenario`` up to ``depth`` actions.
+
+    With ``reduce`` the sleep-set reduction prunes commuting
+    interleavings (sound for the oracle's verdicts: independent actions
+    touch disjoint processes and shift only timestamps, never the
+    real-time precedence a verdict depends on).  ``first_action`` and
+    ``root_sleep`` restrict the search to one root subtree carrying the
+    sleep set the full enumeration would have given it — the parallel
+    fan-out uses this to shard work without double-exploring.
+
+    Violations stop the search once ``max_counterexamples`` schedules
+    have been found (each shrunk and packaged); the stats still count
+    everything explored up to that point.
+    """
+    stats = ExploreStats()
+    oracle = Oracle.for_scenario(scenario)
+    counterexamples: List[Counterexample] = []
+    budget = _Budget(max_transitions)
+
+    def record_violation(schedule: Sequence[str]) -> None:
+        stats.violations += 1
+        ce = build_counterexample(
+            scenario,
+            schedule,
+            oracle,
+            provenance={
+                "mode": EXHAUSTIVE,
+                "depth": depth,
+                "reduce": reduce,
+                "found_at": list(schedule),
+            },
+            shrink=shrink,
+        )
+        if all(existing.key() != ce.key() for existing in counterexamples):
+            counterexamples.append(ce)
+
+    def dfs(
+        driver: ScheduleDriver,
+        prefix: List[str],
+        sleep: Dict[str, Action],
+        responses: int,
+        depth_left: int,
+    ) -> None:
+        if len(counterexamples) >= max_counterexamples or budget.exhausted:
+            return
+        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
+        enabled = driver.enabled()
+        stats.max_enabled = max(stats.max_enabled, len(enabled))
+        candidates = [a for a in enabled if a.label not in sleep]
+        stats.sleep_pruned += len(enabled) - len(candidates)
+        if depth_left == 0 or not candidates:
+            stats.schedules += 1
+            return
+        done: List[Action] = []
+        fresh = driver  # the not-yet-backtracked driver is valid for child 0
+        for action in candidates:
+            if len(counterexamples) >= max_counterexamples or budget.exhausted:
+                return
+            if fresh is None:
+                fresh = _replay_prefix(scenario, prefix)
+            child = fresh
+            fresh = None
+            child_sleep = {
+                label: sleeper
+                for label, sleeper in sleep.items()
+                if sleeper.independent_of(action)
+            }
+            for sleeper in done:
+                if sleeper.independent_of(action):
+                    child_sleep[sleeper.label] = sleeper
+            child.apply(action.label)
+            if not budget.tick():
+                stats.schedules += 1
+                return
+            stats.transitions += 1
+            now_complete = child.responses()
+            if now_complete > responses and not oracle.judge(child.history):
+                record_violation(prefix + [action.label])
+                stats.schedules += 1
+            else:
+                dfs(
+                    child,
+                    prefix + [action.label],
+                    child_sleep if reduce else {},
+                    now_complete,
+                    depth_left - 1,
+                )
+            if reduce:
+                done.append(action)
+
+    root = ScheduleDriver(scenario)
+    root_prefix: List[str] = []
+    initial_sleep: Dict[str, Action] = {}
+    responses = 0
+    if first_action is not None:
+        if reduce and root_sleep:
+            initial_sleep = {
+                sleeper.label: sleeper
+                for sleeper in root_sleep
+                if first_action not in (sleeper.label,)
+                and sleeper.independent_of(
+                    next(a for a in root.enabled() if a.label == first_action)
+                )
+            }
+        root.apply(first_action)
+        budget.tick()
+        stats.transitions += 1
+        root_prefix = [first_action]
+        responses = root.responses()
+        if responses and not oracle.judge(root.history):
+            record_violation(root_prefix)
+    if not counterexamples or max_counterexamples > 1:
+        dfs(root, root_prefix, initial_sleep, responses, depth - len(root_prefix))
+    return ExploreResult(
+        scenario=scenario,
+        mode=EXHAUSTIVE,
+        depth=depth,
+        reduce=reduce,
+        stats=stats,
+        counterexamples=counterexamples,
+        complete=not budget.exhausted,
+    )
+
+
+UNIFORM = "uniform"
+QUORUM = "quorum"
+MIXED = "mixed"
+
+
+def random_walks(
+    scenario: ExploreScenario,
+    depth: int,
+    walks: int,
+    seed: int = 0,
+    max_counterexamples: int = 1,
+    shrink: bool = True,
+    first_walk: int = 0,
+    policy: str = MIXED,
+) -> ExploreResult:
+    """Seeded random walks through the same choice-point space.
+
+    Walk ``i`` draws from ``substream(seed, "explore-walk", i)``; results
+    are a pure function of ``(scenario, depth, seed, walks, policy)`` no
+    matter how the walk range is sharded across processes.  Policies:
+    ``uniform`` picks any enabled action with equal probability (dense
+    fine-grained interleavings), ``quorum`` walks operation by operation
+    with random quorum choices and deliberate partial deliveries (the
+    shape of the paper's lower-bound runs), and ``mixed`` — the default —
+    alternates between them by walk parity.
+    """
+    stats = ExploreStats()
+    oracle = Oracle.for_scenario(scenario)
+    counterexamples: List[Counterexample] = []
+    for walk in range(first_walk, first_walk + walks):
+        chooser = RandomChooser(seed, walk)
+        use_quorum = policy == QUORUM or (policy == MIXED and walk % 2 == 1)
+        if use_quorum:
+            driver = quorum_walk(scenario, chooser, depth, oracle=oracle)
+        else:
+            driver = drive(scenario, chooser, depth, oracle=oracle)
+        stats.transitions += len(driver.schedule)
+        stats.schedules += 1
+        stats.max_depth_seen = max(stats.max_depth_seen, len(driver.schedule))
+        verdict = oracle.judge(driver.history)
+        if not verdict.ok:
+            stats.violations += 1
+            ce = build_counterexample(
+                scenario,
+                driver.schedule,
+                oracle,
+                provenance={
+                    "mode": RANDOM,
+                    "depth": depth,
+                    "seed": seed,
+                    "walk": walk,
+                    "policy": policy,
+                },
+                shrink=shrink,
+            )
+            if all(existing.key() != ce.key() for existing in counterexamples):
+                counterexamples.append(ce)
+            if len(counterexamples) >= max_counterexamples:
+                break
+    return ExploreResult(
+        scenario=scenario,
+        mode=RANDOM,
+        depth=depth,
+        reduce=False,
+        stats=stats,
+        counterexamples=counterexamples,
+        complete=True,
+        walks=walks,
+        seed=seed,
+    )

@@ -1,0 +1,231 @@
+"""Oracle adapter, schedule shrinking and counterexample artifacts.
+
+The oracle feeds every explored history through the same online/spec
+pipeline that judges simulation sweeps (:mod:`repro.spec.online`), so an
+explorer verdict and a ``repro check`` verdict can never drift apart.
+On violation the schedule is shrunk to a 1-minimal counterexample (no
+single action can be dropped without losing the violation) and
+serialized — schedule, scenario, verdict and full history JSON — for
+byte-exact replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ScheduleError, SpecificationError
+from repro.explore.driver import ExploreScenario, ScheduleDriver
+from repro.explore.targets import ATOMIC, REGULAR
+from repro.spec.histories import History, Verdict
+from repro.spec.online import validate_history
+
+
+class Oracle:
+    """Judges a (possibly partial) history against one property.
+
+    Verdicts run through :func:`repro.spec.online.validate_history` — the
+    PR-2 pipeline — with the writer count pinned from the scenario
+    configuration, exactly as the workload runner does.
+    """
+
+    def __init__(self, property_name: str, single_writer: bool) -> None:
+        if property_name not in (ATOMIC, REGULAR):
+            raise SpecificationError(f"unknown oracle property {property_name!r}")
+        self.property_name = property_name
+        self.single_writer = single_writer
+
+    @classmethod
+    def for_scenario(cls, scenario: ExploreScenario) -> "Oracle":
+        target = scenario.resolve()
+        return cls(target.property, single_writer=scenario.config.W == 1)
+
+    def judge(self, history: History) -> Verdict:
+        validator = validate_history(history, swmr=self.single_writer)
+        if self.property_name == REGULAR:
+            return validator.regular_verdict()
+        return validator.atomic_verdict()
+
+
+@dataclass
+class Counterexample:
+    """A minimal violating schedule plus everything needed to replay it."""
+
+    FORMAT = "repro-counterexample/v1"
+
+    scenario: ExploreScenario
+    property_name: str
+    schedule: List[str]
+    verdict: Verdict
+    history: History
+    provenance: Dict = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Stable identity for deterministic merging and deduplication."""
+        return (self.scenario.target, self.property_name, tuple(self.schedule))
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": self.FORMAT,
+            "scenario": self.scenario.to_dict(),
+            "property": self.property_name,
+            "schedule": list(self.schedule),
+            "verdict": {
+                "ok": self.verdict.ok,
+                "property_name": self.verdict.property_name,
+                "reason": self.verdict.reason,
+                "culprits": list(self.verdict.culprits),
+            },
+            "history": self.history.to_dict(),
+            "provenance": self.provenance,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Counterexample":
+        if payload.get("format") != cls.FORMAT:
+            raise SpecificationError(
+                f"unsupported counterexample format {payload.get('format')!r}"
+            )
+        verdict = payload["verdict"]
+        return cls(
+            scenario=ExploreScenario.from_dict(payload["scenario"]),
+            property_name=payload["property"],
+            schedule=list(payload["schedule"]),
+            verdict=Verdict(
+                ok=bool(verdict["ok"]),
+                property_name=verdict["property_name"],
+                reason=verdict["reason"],
+                culprits=tuple(verdict["culprits"]),
+            ),
+            history=History.from_dict(payload["history"]),
+            provenance=dict(payload.get("provenance", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Counterexample":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        lines = [
+            f"counterexample: {self.scenario.target} "
+            f"(S={self.scenario.config.S}, t={self.scenario.config.t}, "
+            f"R={self.scenario.config.R}, W={self.scenario.config.W})",
+            f"verdict: {self.verdict.describe()}",
+            f"schedule ({len(self.schedule)} actions): "
+            + " ; ".join(self.schedule),
+        ]
+        lines.append(self.history.describe())
+        return "\n".join(lines)
+
+
+def _lenient_run(
+    scenario: ExploreScenario, labels: Sequence[str], oracle: Oracle
+) -> tuple:
+    """Apply the labels that are applicable, in order.
+
+    Returns ``(executed_labels, violating)``.  Labels whose action is no
+    longer enabled (their cause was shrunk away) are skipped, so any
+    subsequence of a valid schedule is runnable.
+    """
+    driver = ScheduleDriver(scenario)
+    executed: List[str] = []
+    for label in labels:
+        try:
+            driver.apply(label)
+        except ScheduleError:
+            continue
+        executed.append(label)
+    verdict = oracle.judge(driver.history)
+    return executed, not verdict.ok
+
+
+def shrink_schedule(
+    scenario: ExploreScenario, labels: Sequence[str], oracle: Oracle
+) -> List[str]:
+    """Greedy delta-debugging to a 1-minimal violating schedule.
+
+    Tries removing exponentially shrinking chunks, then single actions,
+    re-running leniently each time; keeps any candidate that still
+    violates.  The result strictly replays (every label enabled in
+    order) because the lenient run that validated it executed exactly
+    those labels.
+    """
+    current, violating = _lenient_run(scenario, labels, oracle)
+    if not violating:
+        raise ScheduleError("cannot shrink: schedule does not violate the oracle")
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        shrunk_this_round = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            executed, still_violating = _lenient_run(scenario, candidate, oracle)
+            if still_violating:
+                current = executed
+                shrunk_this_round = True
+                # re-test the same start: the window now holds new labels
+            else:
+                start += chunk
+        if chunk == 1 and not shrunk_this_round:
+            break
+        chunk = chunk // 2 if chunk > 1 else 1
+        if chunk == 1 and shrunk_this_round:
+            continue
+    return current
+
+
+def build_counterexample(
+    scenario: ExploreScenario,
+    labels: Sequence[str],
+    oracle: Oracle,
+    provenance: Optional[Dict] = None,
+    shrink: bool = True,
+) -> Counterexample:
+    """Shrink a violating schedule and package the replayed artifact."""
+    schedule = (
+        shrink_schedule(scenario, labels, oracle) if shrink else list(labels)
+    )
+    driver = ScheduleDriver(scenario)
+    driver.run(schedule)
+    verdict = oracle.judge(driver.history)
+    if verdict.ok:
+        raise ScheduleError("shrunk schedule no longer violates the oracle")
+    return Counterexample(
+        scenario=scenario,
+        property_name=oracle.property_name,
+        schedule=list(schedule),
+        verdict=verdict,
+        history=driver.history,
+        provenance=dict(provenance or {}),
+    )
+
+
+def replay_counterexample(counterexample: Counterexample) -> Dict[str, bool]:
+    """Strictly re-run a counterexample and compare against the artifact.
+
+    Returns a small report with byte-exactness of the history and
+    equality of the verdict; raises :class:`ScheduleError` if the
+    schedule itself no longer replays.
+    """
+    scenario = counterexample.scenario
+    driver = ScheduleDriver(scenario)
+    driver.run(counterexample.schedule)
+    oracle = Oracle(
+        counterexample.property_name, single_writer=scenario.config.W == 1
+    )
+    verdict = oracle.judge(driver.history)
+    return {
+        "history_identical": driver.history.to_json()
+        == counterexample.history.to_json(),
+        "verdict_identical": (
+            verdict.ok == counterexample.verdict.ok
+            and verdict.property_name == counterexample.verdict.property_name
+            and verdict.reason == counterexample.verdict.reason
+            and verdict.culprits == counterexample.verdict.culprits
+        ),
+        "violates": not verdict.ok,
+    }

@@ -1,0 +1,198 @@
+"""Multiprocess fan-out for explorations.
+
+Work is split into self-contained, picklable shards — one root subtree
+per shard for exhaustive mode (each carrying the sleep set the serial
+enumeration would have handed it, so the union of subtrees equals the
+serial search, nothing double-explored), one walk range per shard for
+random mode — and pushed through :func:`repro.sim.batch.map_parallel`.
+Shard results come back in input order and merge left-to-right with
+:meth:`ExploreResult.merge`, which sorts counterexamples by a stable
+key: the merged result is a pure function of the scenario and bounds,
+independent of worker count and completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.explore.driver import ExploreScenario, ScheduleDriver
+from repro.explore.explorer import (
+    DEFAULT_MAX_TRANSITIONS,
+    EXHAUSTIVE,
+    ExploreResult,
+    ExploreStats,
+    explore,
+    random_walks,
+)
+from repro.sim.batch import map_parallel
+
+
+@dataclass(frozen=True)
+class ExploreShard:
+    """One worker's slice of an exploration (fully picklable)."""
+
+    scenario: ExploreScenario
+    mode: str
+    depth: int
+    reduce: bool = True
+    shrink: bool = True
+    max_transitions: int = DEFAULT_MAX_TRANSITIONS
+    max_counterexamples: int = 1
+    # exhaustive shards: the root action and its predecessors' labels
+    first_action: Optional[str] = None
+    prior_root_labels: tuple = ()
+    # random shards: a contiguous walk range
+    seed: int = 0
+    first_walk: int = 0
+    walks: int = 0
+    policy: str = "mixed"
+
+
+def execute_shard(shard: ExploreShard) -> ExploreResult:
+    """Worker entry point: run one shard to completion."""
+    if shard.mode == EXHAUSTIVE:
+        root_sleep = None
+        if shard.reduce and shard.prior_root_labels:
+            by_label = {
+                action.label: action
+                for action in ScheduleDriver(shard.scenario).enabled()
+            }
+            root_sleep = [
+                by_label[label]
+                for label in shard.prior_root_labels
+                if label in by_label
+            ]
+        return explore(
+            shard.scenario,
+            depth=shard.depth,
+            reduce=shard.reduce,
+            max_transitions=shard.max_transitions,
+            max_counterexamples=shard.max_counterexamples,
+            shrink=shard.shrink,
+            first_action=shard.first_action,
+            root_sleep=root_sleep,
+        )
+    return random_walks(
+        shard.scenario,
+        depth=shard.depth,
+        walks=shard.walks,
+        seed=shard.seed,
+        max_counterexamples=shard.max_counterexamples,
+        shrink=shard.shrink,
+        first_walk=shard.first_walk,
+        policy=shard.policy,
+    )
+
+
+def _merge(scenario: ExploreScenario, mode: str, depth: int,
+           reduce: bool, results: List[ExploreResult],
+           max_counterexamples: int) -> ExploreResult:
+    if not results:
+        return ExploreResult(
+            scenario=scenario, mode=mode, depth=depth, reduce=reduce,
+            stats=ExploreStats(),
+        )
+    merged = results[0]
+    for result in results[1:]:
+        merged = merged.merge(result)
+    # Shards cannot coordinate early stopping, so each may contribute a
+    # counterexample; keep the first N in canonical (sorted-key) order.
+    merged.counterexamples = merged.counterexamples[:max_counterexamples]
+    return merged
+
+
+def explore_parallel(
+    scenario: ExploreScenario,
+    depth: int,
+    reduce: bool = True,
+    parallel: int = 1,
+    max_transitions: int = DEFAULT_MAX_TRANSITIONS,
+    max_counterexamples: int = 1,
+    shrink: bool = True,
+    mp_context: Optional[str] = None,
+) -> ExploreResult:
+    """Exhaustive exploration, sharded by root action.
+
+    Shard boundaries depend only on the scenario, so the merged result
+    is identical for every ``parallel`` value.  The union of subtrees
+    equals the serial search space (each shard inherits exactly the root
+    sleep set the serial DFS would have used), but bookkeeping can
+    differ from a single :func:`explore` call: the transition budget is
+    split evenly across shards, and shards stop at their own
+    counterexample quota rather than a global one — so when the budget
+    binds or violations exist, stats (and which of several equivalent
+    counterexamples is kept) may differ from the unsharded run.
+    """
+    root_actions = ScheduleDriver(scenario).enabled()
+    budget_per_shard = max(1, max_transitions // max(1, len(root_actions)))
+    shards = []
+    prior: List[str] = []
+    for action in root_actions:
+        shards.append(
+            ExploreShard(
+                scenario=scenario,
+                mode=EXHAUSTIVE,
+                depth=depth,
+                reduce=reduce,
+                shrink=shrink,
+                max_transitions=budget_per_shard,
+                max_counterexamples=max_counterexamples,
+                first_action=action.label,
+                prior_root_labels=tuple(prior),
+            )
+        )
+        prior.append(action.label)
+    results, _ = map_parallel(execute_shard, shards, parallel, mp_context)
+    return _merge(
+        scenario, EXHAUSTIVE, depth, reduce, results, max_counterexamples
+    )
+
+
+def random_walks_parallel(
+    scenario: ExploreScenario,
+    depth: int,
+    walks: int,
+    seed: int = 0,
+    parallel: int = 1,
+    max_counterexamples: int = 1,
+    shrink: bool = True,
+    mp_context: Optional[str] = None,
+    policy: str = "mixed",
+) -> ExploreResult:
+    """Random-walk exploration, sharded into contiguous walk ranges.
+
+    The shard boundaries are a fixed function of ``walks`` — never of
+    ``parallel`` — so the merged result (stats included) is identical
+    for every worker count.
+    """
+    parallel = max(1, int(parallel))
+    shard_count = min(16, walks) if walks else 1
+    base, extra = divmod(walks, shard_count)
+    shards = []
+    start = 0
+    for index in range(shard_count):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        shards.append(
+            ExploreShard(
+                scenario=scenario,
+                mode="random",
+                depth=depth,
+                shrink=shrink,
+                max_counterexamples=max_counterexamples,
+                seed=seed,
+                first_walk=start,
+                walks=size,
+                policy=policy,
+            )
+        )
+        start += size
+    results, _ = map_parallel(execute_shard, shards, parallel, mp_context)
+    merged = _merge(
+        scenario, "random", depth, False, results, max_counterexamples
+    )
+    merged.walks = walks
+    merged.seed = seed
+    return merged

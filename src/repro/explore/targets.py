@@ -1,0 +1,111 @@
+"""Exploration targets: every registered protocol plus the ablations.
+
+The explorer hunts for correctness violations, so its universe of
+systems-under-test is wider than the protocol registry: alongside every
+:data:`repro.registers.registry.PROTOCOLS` entry it also enrolls the
+deliberately-broken variants of :mod:`repro.registers.ablations`
+(addressed as ``fast-crash@eager-reader`` etc.), which are the
+counterexample generators the paper's Lemma 3/4 case analysis predicts.
+
+A target never enforces its feasibility requirement at build time: the
+whole point of threshold re-derivation is to run protocols on *both*
+sides of their bound and watch the verdict flip.  The requirement
+function is still exposed so callers can ask which side they are on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.registers import ablations
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.registry import PROTOCOLS
+
+#: The property the explorer's oracle checks for a target.
+ATOMIC = "atomic"
+REGULAR = "regular"
+
+BuildFn = Callable[[ClusterConfig], Cluster]
+
+
+@dataclass(frozen=True)
+class ExploreTarget:
+    """One system the explorer can drive.
+
+    ``expected_ok`` is the paper's prediction *inside* the feasible
+    region (``requirement(config) is None``): faithful protocols must
+    survive every schedule there; ablated/naive targets are expected to
+    lose.  Outside the feasible region every fast protocol is fair game.
+    """
+
+    name: str
+    summary: str
+    build: BuildFn
+    requirement: Callable[[ClusterConfig], Optional[str]]
+    property: str
+    expected_ok: bool
+    multi_writer: bool = False
+
+
+def _registry_target(name: str) -> ExploreTarget:
+    spec = PROTOCOLS[name]
+    return ExploreTarget(
+        name=name,
+        summary=spec.summary,
+        build=lambda config, _spec=spec: _spec.build(config, enforce=False),
+        requirement=spec.requirement,
+        # The regular register is judged against regularity (its actual
+        # contract); everything else against atomicity/linearizability.
+        property=ATOMIC if spec.atomic or spec.name == "naive-fast-mwmr" else REGULAR,
+        expected_ok=spec.atomic or spec.name == "regular-fast",
+        multi_writer=spec.multi_writer,
+    )
+
+
+_ABLATION_CLASSES = {
+    "eager-reader": {"reader_cls": ablations.EagerReader},
+    "timid-reader": {"reader_cls": ablations.TimidReader},
+    "no-seen-reset": {"server_cls": ablations.NoResetServer},
+    "no-counter": {"server_cls": ablations.NoCounterServer},
+    "hasty-writer": {"writer_cls": ablations.HastyWriter},
+}
+
+
+def _ablation_target(flaw: str) -> ExploreTarget:
+    classes = _ABLATION_CLASSES[flaw]
+    fast_crash = PROTOCOLS["fast-crash"]
+    return ExploreTarget(
+        name=f"fast-crash@{flaw}",
+        summary=f"Figure 2 with the {flaw} ablation (deliberately broken)",
+        build=lambda config, _c=classes: ablations.build_ablated_cluster(config, **_c),
+        requirement=fast_crash.requirement,
+        property=ATOMIC,
+        # The no-counter ablation is the one component whose necessity
+        # only the full Lemma 4 case analysis establishes; no short
+        # schedule breaks it, so it is not *expected* to lose here.
+        expected_ok=flaw == "no-counter",
+    )
+
+
+def _build_targets() -> Dict[str, ExploreTarget]:
+    targets: Dict[str, ExploreTarget] = {}
+    for name in PROTOCOLS:
+        targets[name] = _registry_target(name)
+    for flaw in _ABLATION_CLASSES:
+        target = _ablation_target(flaw)
+        targets[target.name] = target
+    return targets
+
+
+TARGETS: Dict[str, ExploreTarget] = _build_targets()
+
+
+def get_target(name: str) -> ExploreTarget:
+    """Look up a target; underscores normalise to hyphens."""
+    canonical = name.replace("_", "-")
+    try:
+        return TARGETS[canonical]
+    except KeyError:
+        known = ", ".join(sorted(TARGETS))
+        raise KeyError(f"unknown explore target {name!r}; known: {known}") from None

@@ -46,6 +46,32 @@ from repro.sim.latency import LatencyModel
 from repro.sim.rng import derive_seed
 
 
+def default_mp_context() -> str:
+    """``fork`` where available (cheap on Linux), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def map_parallel(fn, items, parallel: int = 1, mp_context: Optional[str] = None):
+    """Map ``fn`` over ``items`` across worker processes, order preserved.
+
+    The deterministic backbone shared by the sweep runner and the
+    schedule-space explorer: results always come back in input order
+    (``Pool.map`` semantics), so a caller that merges them left-to-right
+    produces byte-identical output whether the work ran serially or on
+    any number of workers.  ``fn`` and every item must pickle.
+    """
+    items = list(items)
+    parallel = max(1, int(parallel))
+    if parallel == 1 or len(items) <= 1:
+        return [fn(item) for item in items], 1
+    workers = min(parallel, len(items))
+    ctx = multiprocessing.get_context(mp_context or default_mp_context())
+    with ctx.Pool(processes=workers) as pool:
+        results = pool.map(fn, items, chunksize=1)
+    return results, workers
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """One cell of a sweep matrix: a fully deterministic run recipe.
@@ -282,26 +308,17 @@ class BatchRunner:
     ) -> None:
         self.specs = list(specs)
         self.parallel = max(1, int(parallel))
-        if mp_context is None:
-            methods = multiprocessing.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else "spawn"
-        self.mp_context = mp_context
+        self.mp_context = mp_context or default_mp_context()
 
     def run(self) -> BatchResult:
         import time
 
         start = time.perf_counter()
-        if self.parallel == 1 or len(self.specs) <= 1:
-            summaries = [execute_spec(spec) for spec in self.specs]
-            used = 1
-        else:
-            workers = min(self.parallel, len(self.specs))
-            ctx = multiprocessing.get_context(self.mp_context)
-            with ctx.Pool(processes=workers) as pool:
-                # Pool.map returns results in input order regardless of
-                # completion order — the byte-identical guarantee.
-                summaries = pool.map(execute_spec, self.specs, chunksize=1)
-            used = workers
+        # map_parallel returns results in input order regardless of
+        # completion order — the byte-identical guarantee.
+        summaries, used = map_parallel(
+            execute_spec, self.specs, self.parallel, self.mp_context
+        )
         elapsed = time.perf_counter() - start
         return BatchResult(
             specs=self.specs, summaries=summaries, elapsed=elapsed, parallel=used

@@ -1,6 +1,6 @@
 """Tests for the consolidated reproduction report."""
 
-from repro.analysis.report import SECTIONS, generate_report
+from repro.analysis.report import SECTIONS, generate_report, render_explore_stats
 
 
 class TestReport:
@@ -10,7 +10,9 @@ class TestReport:
 
     def test_report_covers_every_experiment_family(self):
         text, _ = generate_report()
-        for marker in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E10", "E11"):
+        for marker in (
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E10", "E11", "E12",
+        ):
             assert marker in text
 
     def test_every_section_reports_status(self):
@@ -21,3 +23,29 @@ class TestReport:
         text, all_ok = generate_report()
         assert all_ok
         assert "all claims reproduced" in text
+
+
+class TestExploreStatsRendering:
+    def test_renders_coverage_and_pruning(self):
+        from repro.explore import ExploreScenario, explore
+        from repro.registers.base import ClusterConfig
+
+        result = explore(
+            ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1)),
+            depth=5,
+        )
+        text = render_explore_stats(result)
+        assert "target        : fast-crash" in text
+        assert "pruned by sleep sets" in text
+        assert "violations    : 0 found" in text
+
+    def test_notes_infeasible_configurations(self):
+        from repro.explore import ExploreScenario, explore
+        from repro.registers.base import ClusterConfig
+
+        result = explore(
+            ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=2)),
+            depth=3,
+        )
+        text = render_explore_stats(result)
+        assert "beyond the feasible region" in text

@@ -1,0 +1,177 @@
+"""Tests for the explorer's choice-point driver."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.explore import ExploreScenario, ReplayChooser, ScheduleDriver, drive
+from repro.registers.base import ClusterConfig
+
+
+def scenario(**kwargs):
+    defaults = dict(
+        target="fast-crash",
+        config=ClusterConfig(S=4, t=1, R=1),
+        writes_per_writer=1,
+        reads_per_reader=1,
+    )
+    defaults.update(kwargs)
+    return ExploreScenario(**defaults)
+
+
+class TestEnabledActions:
+    def test_root_offers_exactly_the_invocations(self):
+        driver = ScheduleDriver(scenario())
+        assert [a.label for a in driver.enabled()] == ["invoke:r1", "invoke:w1"]
+
+    def test_invoke_enables_one_serve_per_server(self):
+        driver = ScheduleDriver(scenario())
+        driver.apply("invoke:w1")
+        labels = [a.label for a in driver.enabled()]
+        assert labels == [
+            "invoke:r1",
+            "serve:w1#1:s1",
+            "serve:w1#1:s2",
+            "serve:w1#1:s3",
+            "serve:w1#1:s4",
+        ]
+
+    def test_serve_delivers_request_and_reply_in_one_action(self):
+        driver = ScheduleDriver(scenario())
+        driver.apply("invoke:w1")
+        for server in ("s1", "s2", "s3"):
+            driver.apply(f"serve:w1#1:{server}")
+        # quorum = S - t = 3 acks: the write is complete
+        assert driver.history.operations[0].complete
+
+    def test_stale_serve_remains_enabled_after_completion(self):
+        driver = ScheduleDriver(scenario())
+        driver.apply("invoke:w1")
+        for server in ("s1", "s2", "s3"):
+            driver.apply(f"serve:w1#1:{server}")
+        labels = [a.label for a in driver.enabled()]
+        assert "serve:w1#1:s4" in labels
+        # a stale request touches only the server, so it is independent
+        # of everything not involving s4
+        stale = next(a for a in driver.enabled() if a.label == "serve:w1#1:s4")
+        assert not stale.completes
+
+    def test_crash_budget_gates_crash_actions(self):
+        no_crash = ScheduleDriver(scenario())
+        assert not any(
+            a.label.startswith("crash:") for a in no_crash.enabled()
+        )
+        with_crash = ScheduleDriver(scenario(crash_budget=1))
+        crashes = [
+            a.label for a in with_crash.enabled() if a.label.startswith("crash:")
+        ]
+        assert crashes == ["crash:s1", "crash:s2", "crash:s3", "crash:s4"]
+        with_crash.apply("crash:s2")
+        assert not any(
+            a.label.startswith("crash:") for a in with_crash.enabled()
+        )
+
+    def test_messages_to_crashed_server_not_deliverable(self):
+        driver = ScheduleDriver(scenario(crash_budget=1))
+        driver.apply("invoke:w1")
+        driver.apply("crash:s1")
+        labels = [a.label for a in driver.enabled()]
+        assert "serve:w1#1:s1" not in labels
+        assert "serve:w1#1:s2" in labels
+
+    def test_gossip_protocol_exposes_msg_and_reply_actions(self):
+        driver = ScheduleDriver(
+            scenario(target="maxmin", config=ClusterConfig(S=3, t=1, R=1))
+        )
+        driver.apply("invoke:r1")
+        driver.apply("serve:r1#1:s1")  # server gossips, replies only later
+        labels = [a.label for a in driver.enabled()]
+        assert "msg:s1:s2:r1#1" in labels and "msg:s1:s3:r1#1" in labels
+        driver.apply("msg:s1:s3:r1#1")  # s3's pool: {s1}
+        driver.apply("serve:r1#1:s2")  # s2 gossips and acks (auto-delivered)
+        # s2's gossip completes s3's pool outside any serve: s3's ack to
+        # the reader is emitted spontaneously and parks in transit.
+        driver.apply("msg:s2:s3:r1#1")
+        labels = [a.label for a in driver.enabled()]
+        assert "reply:r1#1:s3" in labels
+
+
+class TestApplyStrictness:
+    def test_unknown_label_raises(self):
+        driver = ScheduleDriver(scenario())
+        with pytest.raises(ScheduleError):
+            driver.apply("warp:s1")
+
+    def test_serve_before_invoke_raises(self):
+        driver = ScheduleDriver(scenario())
+        with pytest.raises(ScheduleError):
+            driver.apply("serve:w1#1:s1")
+
+    def test_double_invoke_while_pending_raises(self):
+        driver = ScheduleDriver(scenario(writes_per_writer=2))
+        driver.apply("invoke:w1")
+        with pytest.raises(ScheduleError):
+            driver.apply("invoke:w1")
+
+    def test_program_exhaustion_raises(self):
+        driver = ScheduleDriver(scenario())
+        driver.apply("invoke:w1")
+        for server in ("s1", "s2", "s3"):
+            driver.apply(f"serve:w1#1:{server}")
+        with pytest.raises(ScheduleError):
+            driver.apply("invoke:w1")
+
+    def test_crash_without_budget_raises(self):
+        driver = ScheduleDriver(scenario())
+        with pytest.raises(ScheduleError):
+            driver.apply("crash:s1")
+
+
+class TestDeterminism:
+    SCHEDULE = [
+        "invoke:w1",
+        "serve:w1#1:s2",
+        "invoke:r1",
+        "serve:r1#1:s2",
+        "serve:r1#1:s3",
+        "serve:r1#1:s4",
+    ]
+
+    def test_replay_is_byte_identical(self):
+        first = ScheduleDriver(scenario())
+        first.run(self.SCHEDULE)
+        second = ScheduleDriver(scenario())
+        second.run(self.SCHEDULE)
+        assert first.history.to_json() == second.history.to_json()
+
+    def test_replay_chooser_follows_schedule(self):
+        driver = drive(
+            scenario(), ReplayChooser(self.SCHEDULE), depth=len(self.SCHEDULE)
+        )
+        assert driver.schedule == self.SCHEDULE
+
+    def test_replay_chooser_rejects_disabled_label(self):
+        with pytest.raises(ScheduleError):
+            drive(scenario(), ReplayChooser(["serve:w1#1:s1"]), depth=3)
+
+
+class TestScenarioSerialization:
+    def test_round_trip(self):
+        original = scenario(crash_budget=1, reads_per_reader=2)
+        restored = ExploreScenario.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_crash_budget_beyond_t_rejected(self):
+        with pytest.raises(ScheduleError):
+            scenario(crash_budget=2)  # t = 1
+
+    def test_multi_writer_values_are_distinguishable(self):
+        driver = ScheduleDriver(
+            scenario(
+                target="naive-fast-mwmr",
+                config=ClusterConfig(S=2, t=1, R=1, W=2),
+            )
+        )
+        driver.apply("invoke:w1")
+        driver.apply("invoke:w2")
+        values = {op.value for op in driver.history.operations}
+        assert values == {"w1.1", "w2.1"}

@@ -190,3 +190,90 @@ class TestSweep:
         assert main(self.SWEEP_ARGS + ["--no-check", "--seeds", "1"]) == 0
         out = capsys.readouterr().out
         assert "VIOLATION" not in out
+
+
+class TestExplore:
+    CLEAN_ARGS = [
+        "explore",
+        "--protocol", "fast-crash",
+        "--servers", "4", "--t", "1", "--readers", "1",
+        "--depth", "6",
+    ]
+    BROKEN_ARGS = [
+        "explore",
+        "--protocol", "naive-fast-mwmr",
+        "--servers", "2", "--t", "1", "--readers", "1", "--writers", "2",
+        "--depth", "8",
+    ]
+
+    def test_feasible_region_reports_no_violation(self, capsys):
+        assert main(self.CLEAN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "violations    : 0 found" in out
+        assert "pruned by sleep sets" in out
+
+    def test_underscores_normalise_to_hyphens(self, capsys):
+        assert main(
+            ["explore", "--protocol", "fast_crash", "--servers", "4",
+             "--t", "1", "--readers", "1", "--depth", "5"]
+        ) == 0
+        assert "fast-crash" in capsys.readouterr().out
+
+    def test_broken_protocol_exits_nonzero_with_counterexample(self, capsys):
+        assert main(self.BROKEN_ARGS) == 1
+        out = capsys.readouterr().out
+        assert "counterexample: naive-fast-mwmr" in out
+        assert "VIOLATION" in out
+        assert "schedule (" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(self.BROKEN_ARGS + ["--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["violations"] >= 1
+        assert payload["counterexamples"]
+        assert payload["counterexamples"][0]["verdict"]["ok"] is False
+
+    def test_parallel_identical_to_serial(self, capsys):
+        assert main(self.BROKEN_ARGS + ["--format", "json"]) == 1
+        serial = capsys.readouterr().out
+        assert main(
+            self.BROKEN_ARGS + ["--format", "json", "--parallel", "2"]
+        ) == 1
+        assert serial == capsys.readouterr().out
+
+    def test_save_and_replay_round_trip(self, capsys, tmp_path):
+        save_dir = tmp_path / "ces"
+        assert main(self.BROKEN_ARGS + ["--save", str(save_dir)]) == 1
+        capsys.readouterr()
+        files = sorted(save_dir.glob("*.json"))
+        assert files
+        assert main(["explore", "--replay", str(files[0])]) == 0
+        out = capsys.readouterr().out
+        assert "history_identical: True" in out
+        assert "verdict_identical: True" in out
+
+    def test_random_mode_reports_walks(self, capsys):
+        assert main(
+            self.CLEAN_ARGS
+            + ["--mode", "random", "--walks", "25", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "walks=25 seed=3" in out
+
+    def test_unknown_target_rejected(self, capsys):
+        code = main(
+            ["explore", "--protocol", "paxos", "--depth", "4"]
+        )
+        assert code == 2
+        assert "unknown explore target" in capsys.readouterr().err
+
+    def test_crash_budget_beyond_t_rejected(self, capsys):
+        code = main(self.CLEAN_ARGS + ["--crashes", "2"])
+        assert code == 2
+        assert "crash budget" in capsys.readouterr().err
+
+    def test_missing_protocol_rejected(self, capsys):
+        assert main(["explore", "--depth", "4"]) == 2
+        assert "--protocol is required" in capsys.readouterr().err

@@ -2,9 +2,16 @@
 
 Every run's history goes to the independent checkers; these tests are
 the closest thing to the protocols' operational envelope.
+
+Per-case seeds derive from a fixed root via :func:`derive_seed` (never
+Python's salted ``hash``), so a failing case reproduces with the same
+seed in any process — including parallel test runners — and a rerun
+explores exactly the same runs.
 """
 
 import pytest
+
+from repro.sim.rng import derive_seed
 
 from repro.faults.byzantine import (
     SeenInflaterServer,
@@ -49,7 +56,9 @@ class TestAtomicProtocolsUnderChaos:
             protocol,
             config,
             workload=ClosedLoopWorkload.contention(ops=5),
-            seed=hash((protocol, type(latency).__name__)) % 1000,
+            seed=derive_seed(
+                0, "fuzz", protocol, config.S, config.t, type(latency).__name__
+            ) % 1000,
             latency=latency,
         )
         verdict = result.check_atomic()

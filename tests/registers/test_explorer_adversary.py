@@ -1,0 +1,100 @@
+"""Hypothesis properties for max-min and semifast via the explorer.
+
+The explorer's choice-point API doubles as a hypothesis strategy
+backend: a :class:`ChoiceSource` that draws every scheduling decision
+from ``data.draw`` lets hypothesis *be* the adversary — and shrink any
+failing schedule to a minimal sequence of choices.  This covers the two
+registers whose server behaviour (gossip pools, write-back fallback) the
+scripted adversarial suite exercised least.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.explore import ExploreScenario, Oracle, RandomChooser, drive, quorum_walk
+from repro.registers.base import ClusterConfig
+from repro.spec.atomicity import check_swmr_atomicity
+from repro.spec.regularity import check_swmr_regularity
+
+
+class HypothesisChooser:
+    """Adversary whose every pick is a hypothesis draw (and shrinks)."""
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def choose(self, actions):
+        return self.data.draw(
+            st.integers(min_value=0, max_value=len(actions) - 1),
+            label="action index",
+        )
+
+
+def run_adversary(scenario: ExploreScenario, data, depth: int):
+    driver = drive(
+        scenario,
+        HypothesisChooser(data),
+        depth=depth,
+        oracle=Oracle.for_scenario(scenario),
+        stop_on_violation=False,
+    )
+    return driver.history
+
+
+class TestMaxMinUnderExplorerAdversary:
+    SCENARIO = ExploreScenario(
+        "maxmin",
+        ClusterConfig(S=3, t=1, R=2),
+        writes_per_writer=2,
+        reads_per_reader=1,
+        crash_budget=1,
+    )
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_atomic_under_any_choice_sequence(self, data):
+        history = run_adversary(self.SCENARIO, data, depth=30)
+        verdict = check_swmr_atomicity(history)
+        assert verdict.ok, verdict.describe() + "\n" + history.describe()
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16), walk=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_atomic_under_quorum_walks(self, seed, walk):
+        chooser = RandomChooser(seed, walk)
+        driver = quorum_walk(self.SCENARIO, chooser, depth=40)
+        verdict = check_swmr_atomicity(driver.history)
+        assert verdict.ok, verdict.describe() + "\n" + driver.history.describe()
+
+
+class TestSemifastUnderExplorerAdversary:
+    SCENARIO = ExploreScenario(
+        "semifast",
+        ClusterConfig(S=3, t=1, R=2),
+        writes_per_writer=2,
+        reads_per_reader=1,
+        crash_budget=1,
+    )
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_atomic_under_any_choice_sequence(self, data):
+        history = run_adversary(self.SCENARIO, data, depth=30)
+        verdict = check_swmr_atomicity(history)
+        assert verdict.ok, verdict.describe() + "\n" + history.describe()
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_regular_under_any_choice_sequence(self, data):
+        # atomicity implies regularity; checking both exercises the
+        # independent checker on adversarial semifast histories
+        history = run_adversary(self.SCENARIO, data, depth=24)
+        assert check_swmr_regularity(history).ok
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16), walk=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_atomic_under_quorum_walks(self, seed, walk):
+        chooser = RandomChooser(seed, walk)
+        driver = quorum_walk(self.SCENARIO, chooser, depth=40)
+        verdict = check_swmr_atomicity(driver.history)
+        assert verdict.ok, verdict.describe() + "\n" + driver.history.describe()
