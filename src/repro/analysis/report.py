@@ -47,21 +47,26 @@ def render_explore_stats(result) -> str:
     scenario = result.scenario
     config = scenario.config
     exhaustive = result.mode == "exhaustive"
+    engine = getattr(result, "engine", None)
+    memo_hits = getattr(stats, "memo_hits", 0)
     lines = [
         f"target        : {scenario.target}  "
         f"(S={config.S}, t={config.t}, R={config.R}, W={config.W}, "
         f"crash budget {scenario.crash_budget})",
         f"mode          : {result.mode}  depth<={result.depth}  "
         + (
-            f"reduction={'on' if result.reduce else 'off'}"
+            f"engine={engine}  reduction={'on' if result.reduce else 'off'}"
             if exhaustive
             else f"walks={result.walks} seed={result.seed}"
         ),
-        f"schedules     : {stats.schedules} explored"
+        f"schedules     : {stats.schedules} covered"
         + ("" if result.complete else "  (truncated by transition budget)"),
         f"transitions   : {stats.transitions} executed"
         + (
-            f", {stats.sleep_pruned} pruned by sleep sets" if exhaustive else ""
+            f", {stats.sleep_pruned} pruned by sleep sets"
+            f", {memo_hits} memo hits"
+            if exhaustive
+            else ""
         ),
         f"frontier      : max depth {stats.max_depth_seen}"
         + (f", max branching {stats.max_enabled}" if exhaustive else ""),

@@ -316,6 +316,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             max_transitions=args.max_transitions,
             max_counterexamples=args.max_counterexamples,
             shrink=not args.no_shrink,
+            engine=args.engine,
+            memoize=False if args.no_memo else None,
         )
     else:
         result = random_walks_parallel(
@@ -505,6 +507,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=1, help="worker processes (1 = serial)"
     )
     xpl.add_argument(
+        "--engine",
+        default="incremental",
+        choices=["incremental", "stateless"],
+        help="exhaustive mode: incremental (snapshot/undo driver with "
+        "fingerprint memoization; the default) or stateless (the "
+        "prefix-replaying reference engine)",
+    )
+    xpl.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable fingerprint memoization (the incremental engine "
+        "then produces stats bit-identical to the stateless one)",
+    )
+    xpl.add_argument(
         "--no-reduce",
         action="store_true",
         help="disable the sleep-set partial-order reduction",
@@ -514,7 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="keep counterexample schedules as found (skip minimisation)",
     )
-    xpl.add_argument("--max-transitions", type=int, default=2_000_000)
+    xpl.add_argument(
+        "--max-transitions",
+        type=int,
+        default=2_000_000,
+        help="total transition budget; with --parallel it is one shared "
+        "allowance drained by all shards, not a per-shard copy",
+    )
     xpl.add_argument("--max-counterexamples", type=int, default=1)
     xpl.add_argument(
         "--save",

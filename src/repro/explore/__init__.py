@@ -23,10 +23,14 @@ from repro.explore.choices import (
 )
 from repro.explore.driver import Action, ExploreScenario, ScheduleDriver
 from repro.explore.explorer import (
+    ENGINES,
     EXHAUSTIVE,
+    INCREMENTAL,
     RANDOM,
+    STATELESS,
     ExploreResult,
     ExploreStats,
+    TransitionBudget,
     explore,
     random_walks,
 )
@@ -49,18 +53,22 @@ __all__ = [
     "Action",
     "ChoiceSource",
     "Counterexample",
+    "ENGINES",
     "EXHAUSTIVE",
     "ExploreResult",
     "ExploreScenario",
     "ExploreShard",
     "ExploreStats",
     "ExploreTarget",
+    "INCREMENTAL",
     "Oracle",
     "RANDOM",
     "RandomChooser",
     "ReplayChooser",
+    "STATELESS",
     "ScheduleDriver",
     "TARGETS",
+    "TransitionBudget",
     "build_counterexample",
     "drive",
     "execute_shard",

@@ -48,7 +48,12 @@ from repro.registers.base import ClusterConfig
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import ProcessId
 from repro.sim.messages import Envelope
+from repro.sim.state import canon_process, canon_value
 from repro.spec.histories import History, Operation, parse_pid
+
+#: Automaton attributes constant across every state of one scenario;
+#: excluded from fingerprints (identical by construction).
+_CONSTANT_ATTRS = frozenset(("config", "authority"))
 
 
 @dataclass(frozen=True)
@@ -150,15 +155,21 @@ class _ClientProgram:
 class ScheduleDriver:
     """Drives one scenario instance action by action.
 
-    The driver is cheap to construct; stateless exploration rebuilds one
-    per path prefix (a few dozen automaton steps), which is far simpler
-    and, at these depths, faster than snapshotting process state.
+    Two construction modes:
+
+    * ``undo=False`` (default) — the stateless reference mode: cheap to
+      construct, exploration rebuilds one per path prefix.
+    * ``undo=True`` — incremental mode: the underlying execution keeps
+      an undo journal, and :meth:`mark`/:meth:`undo` let a DFS pop the
+      delta of the last action(s) instead of replaying the prefix.
     """
 
-    def __init__(self, scenario: ExploreScenario) -> None:
+    def __init__(self, scenario: ExploreScenario, undo: bool = False) -> None:
         self.scenario = scenario
         self.target = scenario.resolve()
         self.execution = ScriptedExecution(record_trace=False)
+        if undo:
+            self.execution.enable_undo()
         cluster = self.target.build(scenario.config)
         cluster.install(self.execution)
         self.cluster = cluster
@@ -180,6 +191,27 @@ class ScheduleDriver:
             self._programs[pid] = _ClientProgram(
                 pid, [("read", None)] * scenario.reads_per_reader
             )
+        # Static hot-path material: the topology never changes after
+        # install, invoke/crash actions are constant per process, and
+        # envelope classification is cached by (envelope id, op phase).
+        self._sorted_programs = sorted(self._programs.items())
+        self._sorted_processes = sorted(self.execution.processes.items())
+        self._invoke_actions = {
+            pid: Action(
+                label=f"invoke:{pid}",
+                footprint=frozenset((pid,)),
+                is_invocation=True,
+            )
+            for pid, _ in self._sorted_programs
+        }
+        self._crash_actions = {
+            pid: Action(label=f"crash:{pid}", footprint=frozenset((pid,)))
+            for pid in self.config.server_ids
+        }
+        self._classify_cache: Dict[Tuple, Optional[Action]] = {}
+        self._proc_canon: Dict[ProcessId, Dict[int, Tuple]] = {}
+        self._env_canon: Dict[int, object] = {}
+        self._hist_canon: Dict[int, Tuple] = {}
 
     # ------------------------------------------------------------------
     # observation
@@ -189,11 +221,157 @@ class ScheduleDriver:
         return self.execution.history
 
     def responses(self) -> int:
-        return sum(1 for op in self.history.operations if op.complete)
+        history = self.execution.history
+        return len(history.operations) - len(history._pending)
 
     def operation(self, op_label: str) -> Operation:
         """The operation named ``<client>#<k>`` (must have been invoked)."""
         return self._resolve_op(op_label)
+
+    # ------------------------------------------------------------------
+    # snapshot / undo protocol (incremental engine)
+
+    @property
+    def undo_enabled(self) -> bool:
+        return self.execution.undo_enabled
+
+    def mark(self) -> Tuple:
+        """An O(#clients) checkpoint; pass to :meth:`undo` to rewind.
+
+        Marks nest: taking a mark, applying actions, taking another mark
+        and undoing to either one in any (LIFO) order is supported, and
+        a mark stays valid for repeated undo/redo cycles as long as no
+        undo has rewound *past* it.
+        """
+        return (
+            self.execution.checkpoint(),
+            len(self.schedule),
+            self.crashes_used,
+            tuple(
+                (pid, program.issued) for pid, program in self._programs.items()
+            ),
+            self.execution.history._next_op_id,
+        )
+
+    def undo(self, mark: Tuple) -> None:
+        """Rewind driver and execution to a :meth:`mark` checkpoint."""
+        checkpoint, schedule_len, crashes_used, issued, next_op_id = mark
+        self.execution.rollback(checkpoint)
+        del self.schedule[schedule_len:]
+        self.crashes_used = crashes_used
+        for pid, count in issued:
+            program = self._programs[pid]
+            program.issued = count
+            del program.operations[count:]
+        stale = [op_id for op_id in self._op_labels if op_id >= next_op_id]
+        for op_id in stale:
+            label = self._op_labels.pop(op_id)
+            self._ops_by_label.pop(label, None)
+
+    # ------------------------------------------------------------------
+    # fingerprinting (memoization)
+
+    def fingerprint(self) -> Tuple:
+        """Canonical, hashable encoding of the current state.
+
+        Two driver states with equal fingerprints are indistinguishable
+        to any future schedule: same automaton states, same per-queue
+        FIFO transit contents, same remaining client programs and crash
+        budget, and histories equal up to a monotone re-timing (times
+        are rank-normalised, which preserves every real-time-precedence
+        comparison a verdict can depend on).  Envelope ids, send times
+        and virtual-clock values are deliberately excluded — they are
+        unobservable to automata and to the oracle.
+
+        On an undo-enabled driver the per-process, per-envelope and
+        history encodings are cached, keyed by the execution's
+        state-version stamps.  Stamps are drawn from one monotone clock
+        and *restored* by the undo journal, so a ``(entity, stamp)``
+        pair names one exact state content forever — revisiting a state
+        after backtracking reuses its cached encoding instead of
+        re-canonicalising.
+        """
+        caching = self.execution.undo_enabled
+        versions = self.execution.state_version
+        entries = []
+        for pid, proc in self._sorted_processes:
+            if caching:
+                version = versions.get(pid, 0)
+                slots = self._proc_canon.get(pid)
+                if slots is None:
+                    slots = self._proc_canon[pid] = {}
+                entry = slots.get(version)
+                if entry is None:
+                    if len(slots) > 4096:
+                        slots.clear()
+                    entry = (
+                        pid,
+                        type(proc).__name__,
+                        canon_process(proc, _CONSTANT_ATTRS),
+                    )
+                    slots[version] = entry
+            else:
+                entry = (
+                    pid,
+                    type(proc).__name__,
+                    canon_process(proc, _CONSTANT_ATTRS),
+                )
+            entries.append(entry)
+        processes = tuple(entries)
+        env_cache = self._env_canon
+        if len(env_cache) > 100_000:
+            env_cache.clear()
+        queues: Dict[Tuple, List] = {}
+        for env in self.execution.network.transit:
+            op_id = env.op_id
+            op_label = self._op_labels.get(op_id) if op_id is not None else None
+            payload = env_cache.get(env.env_id) if caching else None
+            if payload is None:
+                payload = canon_value(env.payload)
+                if caching:
+                    env_cache[env.env_id] = payload
+            key = (env.src, env.dst, op_label or "")
+            queues.setdefault(key, []).append(payload)
+        transit = tuple(
+            (key, tuple(payloads))
+            for key, payloads in sorted(queues.items(), key=lambda kv: kv[0])
+        )
+        programs = tuple(
+            (pid, program.issued) for pid, program in self._sorted_programs
+        )
+        history_version = versions.get("history", 0)
+        history = (
+            self._hist_canon.get(history_version) if caching else None
+        )
+        if history is None:
+            operations = self.history.operations
+            times = sorted(
+                {op.invoked_at for op in operations}
+                | {
+                    op.responded_at
+                    for op in operations
+                    if op.responded_at is not None
+                }
+            )
+            rank = {t: i for i, t in enumerate(times)}
+            history = tuple(
+                (
+                    op.proc,
+                    op.kind,
+                    canon_value(op.value),
+                    canon_value(op.result),
+                    rank[op.invoked_at],
+                    rank[op.responded_at]
+                    if op.responded_at is not None
+                    else None,
+                )
+                for op in operations
+            )
+            if caching:
+                if len(self._hist_canon) > 8192:
+                    self._hist_canon.clear()
+                self._hist_canon[history_version] = history
+        return (processes, transit, programs, self.crashes_used, history)
 
     # ------------------------------------------------------------------
     # enabled actions
@@ -201,26 +379,19 @@ class ScheduleDriver:
     def enabled(self) -> List[Action]:
         """All currently enabled actions, in label order (deterministic)."""
         actions: List[Action] = []
-        for pid, program in sorted(self._programs.items()):
-            client = self.execution.processes[pid]
+        processes = self.execution.processes
+        for pid, program in self._sorted_programs:
+            client = processes[pid]
             if (
-                not program.exhausted
-                and not client.crashed
+                not client.crashed
                 and client.current_op is None
+                and not program.exhausted
             ):
-                actions.append(
-                    Action(
-                        label=f"invoke:{pid}",
-                        footprint=frozenset((pid,)),
-                        is_invocation=True,
-                    )
-                )
+                actions.append(self._invoke_actions[pid])
         if self.crashes_used < min(self.scenario.crash_budget, self.config.t):
             for pid in self.config.server_ids:
-                if not self.execution.processes[pid].crashed:
-                    actions.append(
-                        Action(label=f"crash:{pid}", footprint=frozenset((pid,)))
-                    )
+                if not processes[pid].crashed:
+                    actions.append(self._crash_actions[pid])
         seen_labels = set()
         for env in self.execution.network.transit:
             action = self._classify(env)
@@ -232,13 +403,40 @@ class ScheduleDriver:
         return actions
 
     def _classify(self, env: Envelope) -> Optional[Action]:
-        """Map one in-transit envelope to its action, or ``None``."""
+        """Map one in-transit envelope to its action, or ``None``.
+
+        The result depends only on the envelope (immutable), whether its
+        operation has completed, and whether the destination is crashed;
+        crash is checked live and the rest is cached per envelope —
+        labels are hot enough that rebuilding them every ``enabled()``
+        call dominated exploration profiles.
+        """
         if self.execution.processes[env.dst].crashed:
             return None
-        op_label = self._op_labels.get(env.op_id) if env.op_id is not None else None
+        op_id = env.op_id
+        op_label = self._op_labels.get(op_id) if op_id is not None else None
+        complete = (
+            self._ops_by_label[op_label].complete
+            if op_label is not None
+            else None
+        )
+        cache = self._classify_cache
+        key = (env.env_id, complete)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        if len(cache) > 100_000:
+            cache.clear()
+        action = self._classify_uncached(env, op_label, complete)
+        cache[key] = action
+        return action
+
+    def _classify_uncached(
+        self, env: Envelope, op_label: Optional[str], complete: Optional[bool]
+    ) -> Optional[Action]:
         if op_label is not None and env.src.is_client and env.dst.is_server:
-            op = self._ops_by_label[op_label]
-            if op.complete:
+            if complete:
                 # A stale request: mutates the server, cannot complete a
                 # response (the auto-reply is skipped for finished ops).
                 return Action(
@@ -251,8 +449,7 @@ class ScheduleDriver:
                 completes=True,
             )
         if op_label is not None and env.src.is_server and env.dst.is_client:
-            op = self._ops_by_label[op_label]
-            if op.complete:
+            if complete:
                 return None  # a stale ack; the client ignores it
             return Action(
                 label=f"reply:{op_label}:{env.src}",

@@ -7,25 +7,45 @@ Two modes share the driver's choice-point API:
   explores action ``a``, sibling branches carry ``a`` in their sleep set
   and skip it while only actions independent of their own first step
   remain — so of two schedules that differ only by swapping commuting
-  deliveries (different processes touched), one is pruned.  Exploration
-  is stateless (Verisoft-style): backtracking re-executes the prefix,
-  which at these depths is cheaper and far simpler than snapshotting
-  automata.
+  deliveries (different processes touched), one is pruned.
 * :func:`random_walks` — seeded uniform walks through the same action
   space for depths exhaustion cannot reach; every seed derives from one
   root via :func:`repro.sim.rng.substream`, so a sweep of walks is
   exactly reproducible and trivially shardable.
 
-Both feed each history through the :class:`~repro.explore.oracle.Oracle`
-after every completed operation and, on violation, shrink the schedule
-to a 1-minimal counterexample (see :mod:`repro.explore.oracle`).
+Exhaustive search runs on one of two **engines**:
+
+* ``incremental`` (default) — one driver with an undo journal
+  (:meth:`ScheduleDriver.mark` / :meth:`ScheduleDriver.undo`):
+  backtracking pops the last action's delta in O(|delta|), and a
+  **fingerprint memo** on top of the sleep sets collapses diamond-shaped
+  interleavings: a state already explored clean to the same remaining
+  depth (with a sleep set no larger than the current one — Godefroid's
+  condition for combining sleep sets with state matching) is not
+  re-explored; its covered-schedule count is credited to the stats and
+  ``memo_hits`` is incremented.  The memo is verdict-sound: an entry is
+  stored only for subtrees fully explored without a violation, and the
+  sleep-set reduction itself never loses a violation, so a cached clean
+  subtree certifies every schedule the current node would have explored.
+* ``stateless`` — the Verisoft-style reference engine: backtracking
+  re-executes the schedule prefix.  Kept as the cross-check oracle: with
+  memoization off, the incremental engine's verdicts, counterexamples
+  and stats counters are bit-identical to this engine's (asserted by the
+  differential suite and the throughput benchmark).
+
+Both modes feed each history through the
+:class:`~repro.explore.oracle.Oracle` after every completed operation
+and, on violation, shrink the schedule to a 1-minimal counterexample
+(see :mod:`repro.explore.oracle`).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ScheduleError
 from repro.explore.choices import RandomChooser, drive, quorum_walk
 from repro.explore.driver import Action, ExploreScenario, ScheduleDriver
 from repro.explore.oracle import (
@@ -41,14 +61,24 @@ DEFAULT_MAX_TRANSITIONS = 2_000_000
 EXHAUSTIVE = "exhaustive"
 RANDOM = "random"
 
+INCREMENTAL = "incremental"
+STATELESS = "stateless"
+ENGINES = (INCREMENTAL, STATELESS)
+
+#: Memoization is skipped when fewer than this many actions remain: a
+#: leaf-adjacent subtree costs less to re-explore than its state costs
+#: to fingerprint, and the bulk of a bounded tree's nodes live there.
+MEMO_MIN_DEPTH = 3
+
 
 @dataclass
 class ExploreStats:
     """Coverage/pruning counters of one exploration."""
 
     transitions: int = 0  # actions executed across all schedules
-    schedules: int = 0  # maximal paths reached (terminal or depth-capped)
+    schedules: int = 0  # maximal paths covered (terminal or depth-capped)
     sleep_pruned: int = 0  # enabled actions skipped by the reduction
+    memo_hits: int = 0  # subtrees skipped by the fingerprint memo
     max_depth_seen: int = 0
     max_enabled: int = 0
     violations: int = 0
@@ -57,6 +87,7 @@ class ExploreStats:
         self.transitions += other.transitions
         self.schedules += other.schedules
         self.sleep_pruned += other.sleep_pruned
+        self.memo_hits += other.memo_hits
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.max_enabled = max(self.max_enabled, other.max_enabled)
         self.violations += other.violations
@@ -66,6 +97,7 @@ class ExploreStats:
             "transitions": self.transitions,
             "schedules": self.schedules,
             "sleep_pruned": self.sleep_pruned,
+            "memo_hits": self.memo_hits,
             "max_depth_seen": self.max_depth_seen,
             "max_enabled": self.max_enabled,
             "violations": self.violations,
@@ -85,6 +117,7 @@ class ExploreResult:
     complete: bool = True  # False when the transition budget truncated DFS
     walks: int = 0
     seed: Optional[int] = None
+    engine: str = INCREMENTAL
 
     @property
     def found_violation(self) -> bool:
@@ -102,6 +135,7 @@ class ExploreResult:
             complete=self.complete and other.complete,
             walks=self.walks + other.walks,
             seed=self.seed if self.seed is not None else other.seed,
+            engine=self.engine,
         )
         merged.stats.merge(other.stats)
         seen = {ce.key() for ce in merged.counterexamples}
@@ -114,20 +148,100 @@ class ExploreResult:
         return merged
 
 
-class _Budget:
-    def __init__(self, limit: int) -> None:
+class TransitionBudget:
+    """A consumable transition allowance, optionally wall-clock bounded.
+
+    ``tick()`` returns ``False`` on the tick that exhausts the budget —
+    the caller then stops counting that transition, matching the
+    truncation semantics the stateless engine always had.  The deadline
+    (when given) is checked every 256 ticks to keep the hot path cheap.
+    """
+
+    __slots__ = ("limit", "spent", "exhausted", "_deadline")
+
+    def __init__(self, limit: int, max_seconds: Optional[float] = None) -> None:
         self.limit = limit
         self.spent = 0
         self.exhausted = False
+        self._deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
 
     def tick(self) -> bool:
         self.spent += 1
         if self.spent >= self.limit:
             self.exhausted = True
+        elif (
+            self._deadline is not None
+            and (self.spent & 255) == 0
+            and time.monotonic() >= self._deadline
+        ):
+            self.exhausted = True
         return not self.exhausted
 
 
-def _replay_prefix(scenario: ExploreScenario, prefix: Sequence[str]) -> ScheduleDriver:
+class _Memo:
+    """Fingerprint memo of clean subtrees.
+
+    An entry records the sleep-set labels the subtree was explored
+    under, the remaining depth it was explored to, how many schedules
+    it covered and how deep it reached.  A lookup hits only when some
+    stored entry was explored *at least as deep* as the current node
+    needs with a sleep set that is a *subset* of the current one — the
+    stored exploration then covered a superset of the schedules the
+    current node would enumerate (Godefroid's condition for combining
+    sleep sets with state matching).
+    """
+
+    #: Entries kept per fingerprint; diamond states rarely recur with
+    #: more than a few distinct (sleep set, depth) combinations.
+    MAX_VARIANTS = 6
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        self.table: Dict[Tuple, List[Tuple]] = {}
+
+    def lookup(
+        self, key: Tuple, sleep_labels: frozenset, depth_left: int
+    ) -> Optional[Tuple]:
+        # Prefer an exact-depth, exact-sleep entry: its schedule count is
+        # exactly what this node would have enumerated.  Deeper or
+        # smaller-sleep entries are equally *sound* (they certify a
+        # superset) but their counts over-credit the ``schedules`` stat.
+        best = None
+        for entry in self.table.get(key, ()):
+            if entry[1] >= depth_left and entry[0] <= sleep_labels:
+                if entry[1] == depth_left and entry[0] == sleep_labels:
+                    return entry
+                if best is None:
+                    best = entry
+        return best
+
+    def store(
+        self,
+        key: Tuple,
+        sleep_labels: frozenset,
+        depth_left: int,
+        schedules: int,
+        rel_depth: int,
+    ) -> None:
+        variants = self.table.setdefault(key, [])
+        for i, entry in enumerate(variants):
+            if sleep_labels <= entry[0] and depth_left >= entry[1]:
+                variants[i] = (sleep_labels, depth_left, schedules, rel_depth)
+                return
+            if entry[0] <= sleep_labels and entry[1] >= depth_left:
+                return  # an at-least-as-general entry already exists
+        if len(variants) < self.MAX_VARIANTS:
+            variants.append(
+                (sleep_labels, depth_left, schedules, rel_depth)
+            )
+
+
+def _replay_prefix(
+    scenario: ExploreScenario, prefix: Sequence[str]
+) -> ScheduleDriver:
     driver = ScheduleDriver(scenario)
     driver.run(prefix)
     return driver
@@ -140,27 +254,54 @@ def explore(
     max_transitions: int = DEFAULT_MAX_TRANSITIONS,
     max_counterexamples: int = 1,
     shrink: bool = True,
-    first_action: Optional[str] = None,
-    root_sleep: Optional[Sequence[Action]] = None,
+    engine: str = INCREMENTAL,
+    memoize: Optional[bool] = None,
+    prefix: Sequence[str] = (),
+    prefix_sleep: Sequence[Action] = (),
+    budget: Optional[TransitionBudget] = None,
+    max_seconds: Optional[float] = None,
 ) -> ExploreResult:
     """Enumerate every schedule of ``scenario`` up to ``depth`` actions.
 
     With ``reduce`` the sleep-set reduction prunes commuting
     interleavings (sound for the oracle's verdicts: independent actions
     touch disjoint processes and shift only timestamps, never the
-    real-time precedence a verdict depends on).  ``first_action`` and
-    ``root_sleep`` restrict the search to one root subtree carrying the
-    sleep set the full enumeration would have given it — the parallel
-    fan-out uses this to shard work without double-exploring.
+    real-time precedence a verdict depends on).
+
+    ``engine`` selects the exploration core: ``"incremental"`` (undo
+    journal + fingerprint memo) or ``"stateless"`` (prefix re-execution,
+    the reference).  ``memoize`` defaults to on for the incremental
+    engine and is ignored by the stateless one; with ``memoize=False``
+    the two engines produce bit-identical results, stats included.
+
+    ``prefix``/``prefix_sleep`` restrict the search to the subtree below
+    one action sequence, carrying the sleep set the serial enumeration
+    would have given that node — the parallel fan-out uses this to shard
+    deep work without double-exploring.  Prefix transitions are *not*
+    counted here (the shard planner that chose the prefix counts them
+    exactly once).
+
+    ``budget`` shares one transition allowance across several calls
+    (parallel shards); when omitted a fresh
+    :class:`TransitionBudget` of ``max_transitions`` (and optionally
+    ``max_seconds`` of wall clock) is used.
 
     Violations stop the search once ``max_counterexamples`` schedules
     have been found (each shrunk and packaged); the stats still count
     everything explored up to that point.
     """
+    if engine not in ENGINES:
+        raise ScheduleError(f"unknown exploration engine {engine!r}")
+    use_memo = memoize if memoize is not None else engine == INCREMENTAL
+    if engine == STATELESS:
+        use_memo = False
     stats = ExploreStats()
     oracle = Oracle.for_scenario(scenario)
     counterexamples: List[Counterexample] = []
-    budget = _Budget(max_transitions)
+    if budget is None:
+        budget = TransitionBudget(max_transitions, max_seconds=max_seconds)
+    memo = _Memo() if use_memo else None
+    incremental = engine == INCREMENTAL
 
     def record_violation(schedule: Sequence[str]) -> None:
         stats.violations += 1
@@ -181,30 +322,47 @@ def explore(
 
     def dfs(
         driver: ScheduleDriver,
-        prefix: List[str],
+        path: List[str],
         sleep: Dict[str, Action],
         responses: int,
         depth_left: int,
-    ) -> None:
+    ) -> int:
+        """Explore below the driver's state; returns the deepest path
+        length covered in this subtree (for memo depth credit)."""
+        deepest = len(path)
         if len(counterexamples) >= max_counterexamples or budget.exhausted:
-            return
-        stats.max_depth_seen = max(stats.max_depth_seen, len(prefix))
+            return deepest
+        stats.max_depth_seen = max(stats.max_depth_seen, deepest)
+        key = None
+        sleep_labels: frozenset = frozenset()
+        if memo is not None and depth_left >= MEMO_MIN_DEPTH:
+            key = driver.fingerprint()
+            sleep_labels = frozenset(sleep)
+            hit = memo.lookup(key, sleep_labels, depth_left)
+            if hit is not None:
+                stats.memo_hits += 1
+                stats.schedules += hit[2]
+                deepest = len(path) + min(hit[3], depth_left)
+                stats.max_depth_seen = max(stats.max_depth_seen, deepest)
+                return deepest
         enabled = driver.enabled()
         stats.max_enabled = max(stats.max_enabled, len(enabled))
         candidates = [a for a in enabled if a.label not in sleep]
         stats.sleep_pruned += len(enabled) - len(candidates)
         if depth_left == 0 or not candidates:
             stats.schedules += 1
-            return
+            if key is not None:
+                memo.store(key, sleep_labels, depth_left, 1, 0)
+            return deepest
+        schedules_before = stats.schedules
+        violations_before = stats.violations
+        truncated = False
         done: List[Action] = []
-        fresh = driver  # the not-yet-backtracked driver is valid for child 0
+        fresh: Optional[ScheduleDriver] = driver  # valid for child 0
         for action in candidates:
             if len(counterexamples) >= max_counterexamples or budget.exhausted:
-                return
-            if fresh is None:
-                fresh = _replay_prefix(scenario, prefix)
-            child = fresh
-            fresh = None
+                truncated = True
+                break
             child_sleep = {
                 label: sleeper
                 for label, sleeper in sleep.items()
@@ -213,49 +371,66 @@ def explore(
             for sleeper in done:
                 if sleeper.independent_of(action):
                     child_sleep[sleeper.label] = sleeper
+            if incremental:
+                child = driver
+                mark = driver.mark()
+            else:
+                if fresh is None:
+                    fresh = _replay_prefix(scenario, path)
+                child = fresh
+                fresh = None
             child.apply(action.label)
             if not budget.tick():
                 stats.schedules += 1
-                return
+                truncated = True
+                if incremental:
+                    child.undo(mark)
+                break
             stats.transitions += 1
+            path.append(action.label)
             now_complete = child.responses()
             if now_complete > responses and not oracle.judge(child.history):
-                record_violation(prefix + [action.label])
+                record_violation(path)
                 stats.schedules += 1
+                deepest = max(deepest, len(path))
             else:
-                dfs(
-                    child,
-                    prefix + [action.label],
-                    child_sleep if reduce else {},
-                    now_complete,
-                    depth_left - 1,
+                deepest = max(
+                    deepest,
+                    dfs(
+                        child,
+                        path,
+                        child_sleep if reduce else {},
+                        now_complete,
+                        depth_left - 1,
+                    ),
                 )
+            path.pop()
+            if incremental:
+                child.undo(mark)
             if reduce:
                 done.append(action)
+        if (
+            key is not None
+            and not truncated
+            and not budget.exhausted
+            and stats.violations == violations_before
+        ):
+            memo.store(
+                key,
+                sleep_labels,
+                depth_left,
+                stats.schedules - schedules_before,
+                deepest - len(path),
+            )
+        return deepest
 
-    root = ScheduleDriver(scenario)
-    root_prefix: List[str] = []
-    initial_sleep: Dict[str, Action] = {}
-    responses = 0
-    if first_action is not None:
-        if reduce and root_sleep:
-            initial_sleep = {
-                sleeper.label: sleeper
-                for sleeper in root_sleep
-                if first_action not in (sleeper.label,)
-                and sleeper.independent_of(
-                    next(a for a in root.enabled() if a.label == first_action)
-                )
-            }
-        root.apply(first_action)
-        budget.tick()
-        stats.transitions += 1
-        root_prefix = [first_action]
-        responses = root.responses()
-        if responses and not oracle.judge(root.history):
-            record_violation(root_prefix)
-    if not counterexamples or max_counterexamples > 1:
-        dfs(root, root_prefix, initial_sleep, responses, depth - len(root_prefix))
+    root = ScheduleDriver(scenario, undo=incremental)
+    root.run(prefix)
+    root_path = list(prefix)
+    initial_sleep: Dict[str, Action] = (
+        {action.label: action for action in prefix_sleep} if reduce else {}
+    )
+    dfs(root, root_path, initial_sleep, root.responses(), depth - len(root_path))
     return ExploreResult(
         scenario=scenario,
         mode=EXHAUSTIVE,
@@ -264,6 +439,7 @@ def explore(
         stats=stats,
         counterexamples=counterexamples,
         complete=not budget.exhausted,
+        engine=engine,
     )
 
 
@@ -336,4 +512,5 @@ def random_walks(
         complete=True,
         walks=walks,
         seed=seed,
+        engine=STATELESS,
     )

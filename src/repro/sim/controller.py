@@ -14,8 +14,7 @@ free-running :class:`~repro.sim.runtime.Simulation` run here unchanged.
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ScheduleError, SimulationError
 from repro.sim import trace as tr
@@ -27,7 +26,15 @@ from repro.spec.histories import History, Operation
 
 
 class ScriptedExecution(RuntimeCore):
-    """A run under full adversarial control of the scheduler."""
+    """A run under full adversarial control of the scheduler.
+
+    With :meth:`enable_undo` the execution additionally keeps an *undo
+    journal*: every state mutation (a process stepping, an envelope
+    moving in or out of transit, a history record) appends its inverse,
+    and :meth:`checkpoint`/:meth:`rollback` pop deltas to return to any
+    earlier point.  This is what lets the exploration engine backtrack
+    in O(|delta|) instead of re-executing the schedule prefix.
+    """
 
     def __init__(self, record_trace: bool = True) -> None:
         self.trace = tr.TraceLog(enabled=record_trace)
@@ -35,8 +42,17 @@ class ScriptedExecution(RuntimeCore):
         self.processes: Dict[ProcessId, Process] = {}
         self.network = HeldNetwork(deliver=self._dispatch)
         self._time = 0.0
-        self._step_counter = itertools.count(1)
+        self._next_step = 1
         self._current_step = 0
+        self._journal: Optional[List[Tuple]] = None
+        #: Per-entity change stamps (process ids + "history"), drawn
+        #: from one monotone clock and maintained only while the undo
+        #: journal is enabled.  A stamp is journaled and restored on
+        #: rollback, so ``(entity, stamp)`` identifies one exact state
+        #: content forever — the exploration driver keys its
+        #: canonicalisation caches on it.
+        self.state_version: Dict = {}
+        self._version_clock = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -74,6 +90,13 @@ class ScriptedExecution(RuntimeCore):
         self.network.submit(env)
 
     def record_response(self, pid: ProcessId, result: Any, step_id: int) -> None:
+        if self._journal is not None:
+            pending = self.history.pending_of(pid)
+            if pending is not None:
+                self._journal.append(
+                    ("respond", pending, pending.result, pending.responded_at)
+                )
+            self._bump("history")
         op = self.history.respond(pid, result, self._time)
         self.trace.record(
             self._time, tr.RESPONSE, pid, step_id, op_id=op.op_id, detail=result
@@ -83,11 +106,88 @@ class ScriptedExecution(RuntimeCore):
             client.operation_completed()
 
     # ------------------------------------------------------------------
+    # undo journal
+
+    def enable_undo(self) -> None:
+        """Start journaling mutations so :meth:`rollback` can undo them.
+
+        Must be called before any schedule action executes; the journal
+        is shared with the network so transit mutations are captured at
+        their source.
+        """
+        if self._journal is None:
+            self._journal = []
+            self.network.journal = self._journal
+
+    @property
+    def undo_enabled(self) -> bool:
+        return self._journal is not None
+
+    def checkpoint(self) -> Tuple:
+        """An O(1) capture of the current point; pass to :meth:`rollback`."""
+        if self._journal is None:
+            raise ScheduleError("undo journal not enabled on this execution")
+        return (
+            len(self._journal),
+            self._time,
+            self._next_step,
+            self._current_step,
+            self.network.sent_count,
+        )
+
+    def rollback(self, checkpoint: Tuple) -> None:
+        """Pop journal deltas until the execution matches ``checkpoint``."""
+        journal = self._journal
+        if journal is None:
+            raise ScheduleError("undo journal not enabled on this execution")
+        mark, time, next_step, current_step, sent_count = checkpoint
+        network = self.network
+        history = self.history
+        while len(journal) > mark:
+            entry = journal.pop()
+            kind = entry[0]
+            if kind == "proc":
+                entry[1].restore_state(entry[2])
+            elif kind == "submit":
+                network.transit.pop()
+            elif kind == "release":
+                network.delivered.pop()
+                network.transit.insert(entry[2], entry[1])
+            elif kind == "drop":
+                network.dropped.pop()
+                network.transit.insert(entry[2], entry[1])
+            elif kind == "ver":
+                self.state_version[entry[1]] = entry[2]
+            elif kind == "respond":
+                history.undo_respond(entry[1], entry[2], entry[3])
+            elif kind == "invoke":
+                history.undo_invoke(entry[1])
+            elif kind == "crash":
+                entry[1].crashed = False
+            else:  # pragma: no cover - journal entries are internal
+                raise ScheduleError(f"unknown journal entry {kind!r}")
+        self._time = time
+        self._next_step = next_step
+        self._current_step = current_step
+        network.sent_count = sent_count
+
+    # ------------------------------------------------------------------
     # schedule actions
 
     def _tick(self) -> float:
         self._time += 1.0
         return self._time
+
+    def _bump(self, key) -> None:
+        versions = self.state_version
+        self._journal.append(("ver", key, versions.get(key, 0)))
+        self._version_clock += 1
+        versions[key] = self._version_clock
+
+    def _new_step(self) -> int:
+        step_id = self._next_step
+        self._next_step = step_id + 1
+        return step_id
 
     def invoke(self, pid: ProcessId, kind: str, value: Any = None) -> Operation:
         """Invoke an operation; its messages land in transit, undelivered."""
@@ -98,11 +198,16 @@ class ScriptedExecution(RuntimeCore):
             raise SimulationError(f"{pid} has crashed; cannot invoke")
         self._tick()
         op = self.history.invoke(pid, kind, value=value, at=self._time)
-        step_id = next(self._step_counter)
+        step_id = self._new_step()
         self._current_step = step_id
         self.trace.record(
             self._time, tr.INVOKE, pid, step_id, op_id=op.op_id, detail=value
         )
+        if self._journal is not None:
+            self._journal.append(("invoke", op))
+            self._journal.append(("proc", client, client.snapshot_state()))
+            self._bump(pid)
+            self._bump("history")
         client.begin_operation(op, Context(self, pid, step_id))
         return op
 
@@ -119,9 +224,10 @@ class ScriptedExecution(RuntimeCore):
         if not process.crashed:
             self._tick()
             process.crashed = True
-            self.trace.record(
-                self._time, tr.CRASH, pid, next(self._step_counter)
-            )
+            if self._journal is not None:
+                self._journal.append(("crash", process))
+                self._bump(pid)
+            self.trace.record(self._time, tr.CRASH, pid, self._new_step())
 
     def drop(self, env: Envelope) -> None:
         self.network.drop(env)
@@ -233,8 +339,11 @@ class ScriptedExecution(RuntimeCore):
         if receiver.crashed:
             self.trace.record(self._time, tr.DROP, env.dst, self._current_step, env=env)
             return
-        step_id = next(self._step_counter)
+        step_id = self._new_step()
         self._current_step = step_id
+        if self._journal is not None:
+            self._journal.append(("proc", receiver, receiver.snapshot_state()))
+            self._bump(env.dst)
         self.trace.record(
             self._time,
             tr.DELIVER,

@@ -125,10 +125,16 @@ class HeldNetwork:
         self.delivered: List[Envelope] = []
         self.dropped: List[Envelope] = []
         self.sent_count = 0
+        #: Optional undo journal shared with the owning runtime (see
+        #: :meth:`repro.sim.controller.ScriptedExecution.enable_undo`).
+        #: When set, every transit mutation appends an inverse record.
+        self.journal: Optional[List] = None
 
     def submit(self, env: Envelope) -> None:
         self.sent_count += 1
         self.transit.append(env)
+        if self.journal is not None:
+            self.journal.append(("submit", None, None))
 
     # ------------------------------------------------------------------
     # queries over the transit pool
@@ -160,13 +166,16 @@ class HeldNetwork:
     def release(self, env: Envelope) -> None:
         """Deliver one held envelope now."""
         try:
-            self.transit.remove(env)
+            index = self.transit.index(env)
         except ValueError:
             raise ScheduleError(
                 f"envelope {env.describe()} is not in transit "
                 "(already delivered or dropped?)"
             ) from None
+        del self.transit[index]
         self.delivered.append(env)
+        if self.journal is not None:
+            self.journal.append(("release", env, index))
         self._deliver(env)
 
     def release_all(self, envelopes: Iterable[Envelope]) -> int:
@@ -183,12 +192,15 @@ class HeldNetwork:
     def drop(self, env: Envelope) -> None:
         """Remove a held envelope without delivering it."""
         try:
-            self.transit.remove(env)
+            index = self.transit.index(env)
         except ValueError:
             raise ScheduleError(
                 f"cannot drop {env.describe()}: not in transit"
             ) from None
+        del self.transit[index]
         self.dropped.append(env)
+        if self.journal is not None:
+            self.journal.append(("drop", env, index))
 
     def drop_all(self, envelopes: Iterable[Envelope]) -> int:
         batch = list(envelopes)

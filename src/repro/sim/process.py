@@ -85,6 +85,26 @@ class Process:
         """Optional debugging hook; protocols override with state dumps."""
         return f"{type(self).__name__}({self.pid})"
 
+    # ------------------------------------------------------------------
+    # snapshot protocol (used by the incremental exploration engine)
+
+    def snapshot_state(self) -> Any:
+        """An opaque copy of this automaton's mutable state.
+
+        The default captures every instance attribute with the generic
+        copier in :mod:`repro.sim.state`; automata with state it cannot
+        represent (none in-tree) override this pair of hooks.
+        """
+        from repro.sim.state import snapshot_process
+
+        return snapshot_process(self)
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore the state captured by :meth:`snapshot_state`."""
+        from repro.sim.state import restore_process
+
+        restore_process(self, snapshot)
+
 
 class ClientProcess(Process):
     """A reader or writer: a process that additionally accepts invocations.

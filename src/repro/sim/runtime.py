@@ -14,7 +14,6 @@ model already forbids automata from storing contexts across steps.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import SimulationError
@@ -57,7 +56,9 @@ class Simulation(RuntimeCore):
         self.trace = tr.TraceLog() if record_trace else tr.NullTraceLog()
         self.history = History()
         self.processes: Dict[ProcessId, Process] = {}
-        self._step_counter = itertools.count(1)
+        # Plain int allocator (cheaper than itertools.count on the
+        # hot path, and snapshot-friendly like the scripted runtime's).
+        self._next_step = 1
         self._current_step = 0
         self._on_response: List[Callable[[Operation], None]] = []
         self._crash_after_sends: Dict[ProcessId, int] = {}
@@ -156,7 +157,8 @@ class Simulation(RuntimeCore):
         if client.crashed:
             raise SimulationError(f"{pid} has crashed; cannot invoke {kind}")
         op = self.history.invoke(pid, kind, value=value, at=self.now)
-        step_id = next(self._step_counter)
+        step_id = self._next_step
+        self._next_step = step_id + 1
         self._current_step = step_id
         if self._tracing:
             self.trace.record(
@@ -184,7 +186,9 @@ class Simulation(RuntimeCore):
 
     def crash(self, pid: ProcessId) -> None:
         """Crash a process immediately."""
-        self._crash_now(pid, step_id=next(self._step_counter))
+        step_id = self._next_step
+        self._next_step = step_id + 1
+        self._crash_now(pid, step_id=step_id)
 
     def crash_at(self, time: float, pid: ProcessId) -> None:
         self.queue.schedule(time, lambda: self.crash(pid), tag=f"crash:{pid}")
@@ -223,7 +227,8 @@ class Simulation(RuntimeCore):
                     self.clock._now, tr.DROP, env.dst, self._current_step, env=env
                 )
             return
-        step_id = next(self._step_counter)
+        step_id = self._next_step
+        self._next_step = step_id + 1
         self._current_step = step_id
         if self._tracing:
             self.trace.record(

@@ -1,0 +1,429 @@
+"""Snapshot and canonicalisation of mutable simulation state.
+
+Two related services used by the incremental exploration engine:
+
+* **Snapshot/restore** (:func:`snapshot_value`, :func:`snapshot_process`,
+  :func:`restore_process`): capture the mutable state of a process
+  automaton so one step can be undone.  The copier is *identity-aware*:
+  mutable containers (``list``/``set``/``dict``) and nested
+  :class:`~repro.sim.process.Process` automata (the Byzantine wrappers
+  hold inner automata) are copied recursively, while
+  :class:`~repro.spec.histories.Operation` records deliberately travel
+  by reference — the history journal owns their mutable fields, and the
+  driver's label maps rely on object identity.  Everything else
+  (process ids, value tags, frozen message dataclasses, signature
+  authorities) is immutable during a run and passes through untouched.
+
+* **Canonicalisation** (:func:`canon_value`): a deterministic, hashable
+  encoding of the same state used to build exploration fingerprints.
+  Unordered containers are encoded order-independently; ack collections
+  are sorted except when reply order is genuinely observable (see
+  :func:`_canon_acks`); operations are encoded by id so that two runs
+  with equal histories canonicalise equally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+from repro.sim.ids import ProcessId
+
+__all__ = [
+    "canon_process",
+    "canon_value",
+    "materialize_value",
+    "restore_process",
+    "snapshot_process",
+    "snapshot_value",
+]
+
+
+def _is_operation(value: Any) -> bool:
+    # Structural check instead of an import: repro.spec.histories imports
+    # repro.sim.ids, so importing it here would risk a cycle if histories
+    # ever grows a state dependency; an Operation is the only object in
+    # automaton state with this exact shape.
+    return (
+        type(value).__name__ == "Operation"
+        and hasattr(value, "op_id")
+        and hasattr(value, "responded_at")
+    )
+
+
+_PROCESS_CLS = None
+_ACKSET_CLS = None
+
+
+def _is_process(value: Any) -> bool:
+    global _PROCESS_CLS
+    if _PROCESS_CLS is None:
+        from repro.sim.process import Process
+
+        _PROCESS_CLS = Process
+    return isinstance(value, _PROCESS_CLS)
+
+
+def _ackset_cls():
+    global _ACKSET_CLS
+    if _ACKSET_CLS is None:
+        from repro.registers.base import AckSet
+
+        _ACKSET_CLS = AckSet
+    return _ACKSET_CLS
+
+
+class _Snap:
+    """Marker wrapper around snapshot payloads that need rebuilding.
+
+    Values not wrapped in a :class:`_Snap` restore by identity; using a
+    dedicated class (rather than tagged tuples) means no automaton state
+    value can ever collide with the snapshot encoding.
+    """
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self, kind: str, data: Any) -> None:
+        self.kind = kind
+        self.data = data
+
+
+def snapshot_value(value: Any) -> Any:
+    """Copy ``value`` deeply enough that later mutation cannot leak back.
+
+    Mutable containers and nested automata are copied; operations keep
+    their identity (their fields are journaled separately); everything
+    else — frozensets, tuples, value tags, message dataclasses,
+    signature authorities — is treated as immutable and passes through.
+    Dispatch mirrors :func:`canon_value`: one exact-type lookup for the
+    hot cases, an isinstance chain for the rest.
+    """
+    cls = value.__class__
+    handler = _SNAP_DISPATCH.get(cls)
+    if handler is not None:
+        return handler(value)
+    if _is_operation(value):
+        # identity-shared; mutable fields restored by the journal
+        _SNAP_DISPATCH[cls] = _snap_self
+        return value
+    if _is_process(value):
+        _SNAP_DISPATCH[cls] = _snap_process
+        return _snap_process(value)
+    if isinstance(value, _ackset_cls()):
+        _SNAP_DISPATCH[cls] = _snap_acks
+        return _snap_acks(value)
+    if isinstance(value, list):
+        return _snap_list(value)
+    if isinstance(value, set):
+        return _snap_set(value)
+    if isinstance(value, dict):
+        return _snap_dict(value)
+    params = getattr(cls, "__dataclass_params__", None)
+    if params is not None and params.frozen:
+        _SNAP_DISPATCH[cls] = _snap_self  # frozen dataclass: immutable
+    return value
+
+
+def _snap_self(value: Any) -> Any:
+    return value
+
+
+def _snap_list(value: list) -> "_Snap":
+    return _Snap("list", [snapshot_value(item) for item in value])
+
+
+def _snap_set(value: set) -> "_Snap":
+    return _Snap("set", [snapshot_value(item) for item in value])
+
+
+def _snap_dict(value: dict) -> "_Snap":
+    return _Snap(
+        "dict", [(key, snapshot_value(item)) for key, item in value.items()]
+    )
+
+
+def _snap_acks(value: Any) -> "_Snap":
+    return _Snap(
+        "acks",
+        (
+            value.threshold,
+            value._fired,
+            [(src, snapshot_value(p)) for src, p in value.replies.items()],
+        ),
+    )
+
+
+def _snap_process(value: Any) -> "_Snap":
+    return _Snap("process", (value, snapshot_process(value)))
+
+
+_SNAP_DISPATCH: Dict[type, Any] = {
+    int: _snap_self,
+    float: _snap_self,
+    str: _snap_self,
+    bytes: _snap_self,
+    bool: _snap_self,
+    type(None): _snap_self,
+    frozenset: _snap_self,
+    tuple: _snap_self,
+    list: _snap_list,
+    set: _snap_set,
+    dict: _snap_dict,
+}
+
+
+def materialize_value(snap: Any) -> Any:
+    """Rebuild a live value from :func:`snapshot_value` output.
+
+    A snapshot can be materialized any number of times (DFS restores the
+    same node snapshot once per sibling), so every mutable layer is
+    freshly constructed here.
+    """
+    if isinstance(snap, _Snap):
+        kind = snap.kind
+        if kind == "list":
+            return [materialize_value(item) for item in snap.data]
+        if kind == "set":
+            return {materialize_value(item) for item in snap.data}
+        if kind == "dict":
+            return {key: materialize_value(item) for key, item in snap.data}
+        if kind == "process":
+            process, state = snap.data
+            restore_process(process, state)
+            return process
+        if kind == "acks":
+            threshold, fired, replies = snap.data
+            acks = _ackset_cls()(threshold)
+            acks._fired = fired
+            acks.replies = {src: materialize_value(p) for src, p in replies}
+            return acks
+    return snap
+
+
+def snapshot_process(process: Any) -> Dict[str, Any]:
+    """Snapshot every instance attribute of one automaton."""
+    return {name: snapshot_value(v) for name, v in vars(process).items()}
+
+
+def restore_process(process: Any, snap: Dict[str, Any]) -> None:
+    """Restore an automaton in place from :func:`snapshot_process`.
+
+    Attributes added after the snapshot are removed so a round-trip is
+    exact even when a step introduced new state.
+    """
+    for name in list(vars(process)):
+        if name not in snap:
+            delattr(process, name)
+    for name, value in snap.items():
+        setattr(process, name, materialize_value(value))
+
+
+# ----------------------------------------------------------------------
+# canonicalisation
+
+
+def canon_value(value: Any) -> Any:
+    """A hashable, deterministic encoding of one state value.
+
+    The encoding is injective on the state automata actually hold: two
+    values canonicalising equally are indistinguishable to any future
+    schedule.  Sets and dicts are order-normalised (their order is
+    unobservable); ack collections are order-normalised unless a
+    max-timestamp tie makes reply order observable; operations encode
+    as their id.
+
+    Dispatch is by exact type first (one dict lookup covers every hot
+    case: primitives, containers, process ids); only unregistered types
+    walk the isinstance chain.
+    """
+    handler = _CANON_DISPATCH.get(value.__class__)
+    if handler is not None:
+        return handler(value)
+    return _canon_other(value)
+
+
+def _canon_self(value: Any) -> Any:
+    return value
+
+
+def _canon_float(value: float) -> Tuple:
+    return ("f", repr(value))
+
+
+def _canon_pid(value: ProcessId) -> Tuple:
+    return ("pid", value.kind, value.index)
+
+
+def _canon_seq(value: Any) -> Tuple:
+    return ("seq", tuple(canon_value(item) for item in value))
+
+
+def _canon_set(value: Any) -> Tuple:
+    return ("set", _canon_sorted([canon_value(i) for i in value]))
+
+
+def _canon_map(value: Dict) -> Tuple:
+    return (
+        "map",
+        _canon_sorted(
+            [(canon_value(k), canon_value(v)) for k, v in value.items()]
+        ),
+    )
+
+
+_CANON_DISPATCH: Dict[type, Any] = {
+    int: _canon_self,
+    str: _canon_self,
+    bytes: _canon_self,
+    bool: _canon_self,
+    type(None): _canon_self,
+    float: _canon_float,
+    ProcessId: _canon_pid,
+    list: _canon_seq,
+    tuple: _canon_seq,
+    set: _canon_set,
+    frozenset: _canon_set,
+    dict: _canon_map,
+}
+
+
+def _canon_other(value: Any) -> Any:
+    if isinstance(value, (int, str, bytes, bool)) or value is None:
+        return value  # primitive subclasses
+    if isinstance(value, float):
+        return _canon_float(value)
+    if isinstance(value, ProcessId):
+        return _canon_pid(value)
+    if _is_operation(value):
+        _CANON_DISPATCH[type(value)] = _canon_operation
+        return ("op", value.op_id)
+    if isinstance(value, (list, tuple)):
+        return _canon_seq(value)
+    if isinstance(value, (set, frozenset)):
+        return _canon_set(value)
+    if isinstance(value, dict):
+        return _canon_map(value)
+    if isinstance(value, _ackset_cls()):
+        _CANON_DISPATCH[type(value)] = _canon_acks
+        return _canon_acks(value)
+    if _is_process(value):
+        return ("proc", type(value).__name__, canon_process(value))
+    if dataclasses.is_dataclass(value):
+        cls = type(value)
+        names = _field_names(cls)
+        result = (
+            cls.__name__,
+            tuple((name, canon_value(getattr(value, name))) for name in names),
+        )
+        # Frozen dataclasses canonicalise the same way every time; teach
+        # the dispatch table their exact type so the chain runs once per
+        # class, not once per value.
+        params = getattr(cls, "__dataclass_params__", None)
+        if params is not None and params.frozen:
+            _CANON_DISPATCH[cls] = _canon_dataclass
+        return result
+    if hasattr(value, "__dict__"):
+        return (type(value).__name__, canon_value(vars(value)))
+    return ("repr", repr(value))
+
+
+def _canon_dataclass(value: Any) -> Tuple:
+    names = _field_names(type(value))
+    return (
+        type(value).__name__,
+        tuple((name, canon_value(getattr(value, name))) for name in names),
+    )
+
+
+def _canon_operation(value: Any) -> Tuple:
+    return ("op", value.op_id)
+
+
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+
+def _field_names(cls: type) -> Tuple[str, ...]:
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+def _canon_acks(acks: Any) -> Tuple:
+    """Canonical form of an ack collection.
+
+    Client automata fold their replies through permutation-invariant
+    operations — threshold counts, set containment, ``max`` by
+    timestamp — with one exception: when two replies carry *different*
+    tags with *equal* timestamps (possible only for the naive integer-ts
+    multi-writer strawman), ``max`` resolves the tie by insertion order
+    and reply order becomes observable.  So: entries are sorted (letting
+    delivery-order diamonds collapse) unless such an ambiguous tie is
+    present, in which case insertion order is preserved — fewer memo
+    hits there, never an unsound one.
+    """
+    entries = []
+    tags = []
+    ts_list = []
+    duplicate_ts = False
+    seen_ts = set()
+    for src, payload in acks.replies.items():
+        tag = getattr(payload, "tag", None)
+        ts = getattr(tag, "ts", None) if tag is not None else None
+        tags.append(tag)
+        ts_list.append(ts)
+        if ts is not None:
+            if ts in seen_ts:
+                duplicate_ts = True
+            seen_ts.add(ts)
+        entries.append((canon_value(src), canon_value(payload)))
+    ambiguous = False
+    if duplicate_ts:
+        # Equal timestamps present: order is observable only if the
+        # tags behind them actually differ.
+        canon_tags = [None if t is None else canon_value(t) for t in tags]
+        ambiguous = any(
+            ts_list[i] is not None
+            and ts_list[i] == ts_list[j]
+            and canon_tags[i] != canon_tags[j]
+            for i in range(len(tags))
+            for j in range(i + 1, len(tags))
+        )
+    if not ambiguous:
+        entries = list(_canon_sorted(entries))
+    return ("acks", acks.threshold, acks._fired, tuple(entries))
+
+
+def _canon_sorted(items) -> Tuple:
+    """Deterministic order for canonical encodings.
+
+    Canonical values of homogeneous containers sort natively (they are
+    nested tuples of primitives); heterogeneous corner cases fall back
+    to sorting by ``repr``, which is slower but total.  Both orders are
+    pure functions of the multiset content, which is all determinism
+    needs.
+    """
+    try:
+        return tuple(sorted(items))
+    except TypeError:
+        return tuple(sorted(items, key=repr))
+
+
+def canon_process(process: Any, exclude: frozenset = frozenset()) -> Tuple:
+    """Canonical encoding of one automaton's full instance state.
+
+    ``exclude`` names attributes the caller knows are constant for the
+    lifetime of the comparison (the exploration driver skips ``config``
+    and ``authority``: identical by construction for every state of one
+    scenario, and re-encoding them per state was pure overhead).
+    """
+    if exclude:
+        return tuple(
+            (name, canon_value(v))
+            for name, v in sorted(vars(process).items())
+            if name not in exclude
+        )
+    return tuple(
+        (name, canon_value(v)) for name, v in sorted(vars(process).items())
+    )

@@ -19,7 +19,6 @@ pieces the fast verification pipeline is built on:
 
 from __future__ import annotations
 
-import itertools
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -140,7 +139,9 @@ class History:
         self.operations: List[Operation] = []
         self._by_id: Dict[int, Operation] = {}
         self._pending: Dict[ProcessId, Operation] = {}
-        self._op_counter = itertools.count(1)
+        # A plain integer (not itertools.count) so an undo journal can
+        # roll the id allocator back together with the log.
+        self._next_op_id = 1
 
     def __len__(self) -> int:
         return len(self.operations)
@@ -161,12 +162,13 @@ class History:
                 f"{self._pending[proc].op_id}; the model allows one at a time"
             )
         op = Operation(
-            op_id=next(self._op_counter),
+            op_id=self._next_op_id,
             proc=proc,
             kind=kind,
             value=value,
             invoked_at=at,
         )
+        self._next_op_id += 1
         self.operations.append(op)
         self._by_id[op.op_id] = op
         self._pending[proc] = op
@@ -186,6 +188,29 @@ class History:
 
     def pending_of(self, proc: ProcessId) -> Optional[Operation]:
         return self._pending.get(proc)
+
+    # ------------------------------------------------------------------
+    # undo hooks (the scripted runtime's journal; see sim.controller)
+
+    def undo_invoke(self, op: Operation) -> None:
+        """Reverse the most recent :meth:`invoke` (must be ``op``)."""
+        if not self.operations or self.operations[-1] is not op:
+            raise SpecificationError(
+                f"cannot undo invoke of op {op.op_id}: not the latest operation"
+            )
+        self.operations.pop()
+        del self._by_id[op.op_id]
+        self._pending.pop(op.proc, None)
+        self._next_op_id = op.op_id
+
+    def undo_respond(
+        self, op: Operation, result: Any, responded_at: Optional[float]
+    ) -> None:
+        """Reverse a :meth:`respond`, restoring the pre-response fields."""
+        op.result = result
+        op.responded_at = responded_at
+        if responded_at is None:
+            self._pending[op.proc] = op
 
     def get(self, op_id: int) -> Operation:
         return self._by_id[op_id]
@@ -270,7 +295,7 @@ class History:
             if not op.complete:
                 history._pending[op.proc] = op
             max_id = max(max_id, op.op_id)
-        history._op_counter = itertools.count(max_id + 1)
+        history._next_op_id = max_id + 1
         return history
 
     @classmethod

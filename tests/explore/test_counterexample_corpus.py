@@ -27,7 +27,7 @@ def corpus_id(path):
 
 
 def test_corpus_is_not_empty():
-    assert len(CORPUS) >= 5
+    assert len(CORPUS) >= 6
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=corpus_id)
@@ -62,3 +62,24 @@ def test_corpus_covers_thresholds_and_ablations():
     assert "naive-fast-mwmr" in targets
     assert "fast-crash" in targets
     assert sum(1 for name in targets if "@" in name) >= 2
+    # the ROADMAP's hardest ablation target: needs three readers and
+    # pre-polluted seen sets, reached by the incremental engine
+    assert "fast-crash@no-seen-reset" in targets
+
+
+def test_no_seen_reset_entry_has_the_predicted_shape():
+    """The Lemma-4 seen-set inversion: three distinct readers pollute,
+    one read returns the incomplete write, a later read misses it."""
+    path = next(p for p in CORPUS if "no-seen-reset" in p.stem)
+    ce = Counterexample.from_json(path.read_text())
+    assert ce.scenario.config.R == 3
+    readers = {
+        label.split(":")[1].split("#")[0]
+        for label in ce.schedule
+        if label.startswith("serve:r")
+    }
+    assert readers == {"r1", "r2", "r3"}
+    reads = [op for op in ce.history.operations if op.is_read and op.complete]
+    assert any(op.result == 1 for op in reads)  # the incomplete write's value
+    assert any(op.result == "⊥" for op in reads)  # inverted by a later read
+    assert not ce.verdict.ok

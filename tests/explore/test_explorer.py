@@ -50,11 +50,14 @@ class TestFeasibleRegionIsClean:
 
 class TestReductionIsEffectiveAndSound:
     def test_sleep_sets_prune_at_least_5x(self):
+        # memoize=False isolates the sleep-set effect: with the memo on,
+        # the unreduced run also collapses revisited states and the
+        # transition ratio no longer measures the reduction alone.
         scenario = ExploreScenario(
             "swsr-fast", ClusterConfig(S=3, t=1, R=1), crash_budget=1
         )
-        reduced = explore(scenario, depth=8, reduce=True)
-        full = explore(scenario, depth=8, reduce=False)
+        reduced = explore(scenario, depth=8, reduce=True, memoize=False)
+        full = explore(scenario, depth=8, reduce=False, memoize=False)
         assert reduced.complete and full.complete
         ratio = full.stats.transitions / reduced.stats.transitions
         assert ratio >= 5.0, f"reduction only {ratio:.1f}x"

@@ -2,9 +2,11 @@
 
 from repro.explore import (
     ExploreScenario,
+    explore,
     explore_parallel,
     random_walks_parallel,
 )
+from repro.explore.parallel import SHARD_TARGET, TransitionBudget, _plan_shards
 from repro.registers.base import ClusterConfig
 
 
@@ -38,6 +40,77 @@ class TestExhaustiveSharding:
         assert serial.stats.to_dict() == parallel.stats.to_dict()
         assert serial.complete and parallel.complete
         assert not serial.found_violation
+
+    def test_sharded_run_equals_unsharded_serial_search(self):
+        """Planner stats + shard stats == one serial explore() call:
+        the deep-prefix sharding re-partitions the serial search without
+        changing what is counted."""
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        serial = explore(scenario, depth=6, memoize=False)
+        sharded = explore_parallel(
+            scenario, depth=6, parallel=2, memoize=False
+        )
+        assert serial.stats.to_dict() == sharded.stats.to_dict()
+        assert serial.complete == sharded.complete
+
+    def test_deep_sharding_beats_root_branching(self):
+        """The root of this scenario enables only 2 actions; the planner
+        must deepen the prefix frontier until >= SHARD_TARGET subtrees
+        exist, so more workers than root branches stay busy."""
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        root_branching = 2  # invoke:w1, invoke:r1
+        plan = _plan_shards(
+            scenario,
+            depth=6,
+            reduce=True,
+            shrink=True,
+            max_counterexamples=1,
+            budget=TransitionBudget(10**6),
+        )
+        assert len(plan.frontier) >= SHARD_TARGET > root_branching
+        prefixes = [prefix for prefix, _ in plan.frontier]
+        assert all(len(prefix) >= 2 for prefix in prefixes)
+        assert len(set(prefixes)) == len(prefixes)  # no double-exploring
+
+    def test_engine_choice_does_not_change_parallel_results(self):
+        scenario = naive_scenario()
+        incremental = explore_parallel(
+            scenario, depth=7, parallel=2, engine="incremental", memoize=False
+        )
+        stateless = explore_parallel(
+            scenario, depth=7, parallel=2, engine="stateless"
+        )
+        assert incremental.stats.to_dict() == stateless.stats.to_dict()
+        assert [ce.to_json() for ce in incremental.counterexamples] == [
+            ce.to_json() for ce in stateless.counterexamples
+        ]
+
+
+class TestSharedBudget:
+    def test_budget_is_shared_not_per_shard(self):
+        """The transition allowance is one global pool: a sharded run
+        with a binding budget executes at most ~max_transitions
+        transitions in total, not shards x max_transitions."""
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        limit = 400
+        result = explore_parallel(
+            scenario, depth=7, parallel=2, max_transitions=limit
+        )
+        assert not result.complete
+        # planner + worker chunking can overshoot by at most one chunk
+        # per worker; far below the 16-shard x limit blowup this guards
+        assert result.stats.transitions <= 2 * limit
+
+    def test_unbinding_budget_keeps_results_identical(self):
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        tight = explore_parallel(
+            scenario, depth=6, parallel=2, max_transitions=10**6
+        )
+        loose = explore_parallel(
+            scenario, depth=6, parallel=4, max_transitions=2 * 10**6
+        )
+        assert tight.complete and loose.complete
+        assert tight.stats.to_dict() == loose.stats.to_dict()
 
 
 class TestRandomSharding:
