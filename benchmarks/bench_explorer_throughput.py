@@ -214,6 +214,57 @@ def test_sleep_set_pruning_factor(benchmark):
     assert factor >= 5.0
 
 
+#: The committed baseline this revision must not regress from: a
+#: checked-in snapshot of ``BENCH_explorer.json`` (the per-run artifact
+#: itself stays gitignored and is re-emitted next to the working
+#: directory on every timed run).
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "BENCH_explorer_baseline.json"
+)
+
+#: Wall-clock slack vs the baseline's schedules/sec: CI runners vary
+#: widely, so only a gross collapse (e.g. the adversary layer taxing the
+#: crash-target hot path) trips this; the deterministic counters are
+#: compared exactly.
+BASELINE_RATE_SLACK = 0.3
+
+
+def test_no_regression_vs_checked_in_baseline():
+    """Crash-target explorer work must match the committed baseline.
+
+    The adversary layer widened the action vocabulary; on scenarios
+    with no Byzantine budget the search space (and therefore every
+    deterministic counter) must be exactly what it was before the
+    refactor, and throughput must stay within slack of the baseline.
+    Runs after the timing tests in this module and reads their results.
+    """
+    if "throughput" not in _RESULTS or "pruning" not in _RESULTS:
+        pytest.skip("timing tests did not run in this session")
+    with open(BASELINE, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    throughput = _RESULTS["throughput"]
+    pruning = _RESULTS["pruning"]
+    # Deterministic counters: identical crash-target search spaces.
+    assert (
+        throughput["schedule_space"]
+        == baseline["throughput"]["schedule_space"]
+    )
+    assert (
+        pruning["reduced_transitions"]
+        == baseline["pruning"]["reduced_transitions"]
+    )
+    assert pruning["full_transitions"] == baseline["pruning"]["full_transitions"]
+    # Throughput floor (gross-regression guard, generous CI slack).
+    floor = BASELINE_RATE_SLACK * baseline["throughput"][
+        "incremental_schedules_per_sec"
+    ]
+    assert throughput["incremental_schedules_per_sec"] >= floor, (
+        f"incremental engine at "
+        f"{throughput['incremental_schedules_per_sec']:,.0f} schedules/s "
+        f"regressed below {floor:,.0f} (baseline x {BASELINE_RATE_SLACK})"
+    )
+
+
 def test_memoization_preserves_verdicts_on_broken_target():
     """Memoization must never hide a violation: the naive MWMR strawman
     still loses, with the same verdict the stateless engine derives."""

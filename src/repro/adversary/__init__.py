@@ -1,0 +1,39 @@
+"""Unified adversary layer: one model for crash, omission and Byzantine
+behaviour.
+
+* :class:`Adversary` — declarative fault allowances (crash budget,
+  Byzantine budget, bounded strategy menu) validated against a
+  :class:`~repro.registers.base.ClusterConfig`.
+* :class:`ReplyStrategy` / :data:`STRATEGIES` / :data:`DEFAULT_MENU` —
+  the finite content-corruption menu shared by the exploration driver's
+  ``lie:…`` choice points and the wrapper servers of
+  :mod:`repro.faults.byzantine`.
+* :class:`StrategyContext`, :data:`DROP` — what a corruption may use,
+  and the withhold sentinel (the omission face).
+
+The crash-plan injectors for free-running simulations remain in
+:mod:`repro.faults.crash` and are re-exported by :mod:`repro.faults`;
+this package is the single source of truth for *content* behaviour.
+"""
+
+from repro.adversary.model import Adversary
+from repro.adversary.strategies import (
+    DEFAULT_MENU,
+    DROP,
+    STRATEGIES,
+    ReplyStrategy,
+    StrategyContext,
+    get_strategy,
+    resolve_menu,
+)
+
+__all__ = [
+    "Adversary",
+    "DEFAULT_MENU",
+    "DROP",
+    "STRATEGIES",
+    "ReplyStrategy",
+    "StrategyContext",
+    "get_strategy",
+    "resolve_menu",
+]

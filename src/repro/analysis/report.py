@@ -49,10 +49,16 @@ def render_explore_stats(result) -> str:
     exhaustive = result.mode == "exhaustive"
     engine = getattr(result, "engine", None)
     memo_hits = getattr(stats, "memo_hits", 0)
+    shared_hits = getattr(stats, "shared_memo_hits", 0)
+    byzantine_budget = getattr(scenario, "byzantine_budget", 0)
+    adversary = f"crash budget {scenario.crash_budget}"
+    if byzantine_budget:
+        menu = ",".join(scenario.strategies)
+        adversary += f", byzantine budget {byzantine_budget} [{menu}]"
     lines = [
         f"target        : {scenario.target}  "
         f"(S={config.S}, t={config.t}, R={config.R}, W={config.W}, "
-        f"crash budget {scenario.crash_budget})",
+        f"b={config.b}, {adversary})",
         f"mode          : {result.mode}  depth<={result.depth}  "
         + (
             f"engine={engine}  reduction={'on' if result.reduce else 'off'}"
@@ -65,6 +71,7 @@ def render_explore_stats(result) -> str:
         + (
             f", {stats.sleep_pruned} pruned by sleep sets"
             f", {memo_hits} memo hits"
+            + (f" (+{shared_hits} cross-process)" if shared_hits else "")
             if exhaustive
             else ""
         ),

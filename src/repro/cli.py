@@ -16,7 +16,8 @@ the library's main artefacts without writing code:
   and prints its per-property verdict, making golden corpora shareable
   and re-checkable standalone.
 * ``repro explore`` — bounded model checking over message schedules,
-  crash points and quorum choices: exhaustive up to a depth (with
+  crash points, quorum choices and Byzantine content choices (``--b``,
+  ``--byzantine``, ``--strategies``): exhaustive up to a depth (with
   partial-order reduction) or seeded random walks beyond it; violating
   schedules are shrunk and saved as replayable counterexamples
   (``repro explore --replay file.json``).
@@ -295,7 +296,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     try:
         config = ClusterConfig(
-            S=args.servers, t=args.t, R=args.readers, W=args.writers
+            S=args.servers, t=args.t, R=args.readers, W=args.writers, b=args.b
         )
         scenario = ExploreScenario(
             target=target.name,
@@ -303,6 +304,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             writes_per_writer=args.writes,
             reads_per_reader=args.reads,
             crash_budget=args.crashes,
+            byzantine_budget=args.byzantine,
+            strategies=tuple(args.strategies or ()),
         )
     except ReproError as exc:
         print(f"explore: {exc}", file=sys.stderr)
@@ -477,9 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     xpl.add_argument(
         "--protocol",
+        "--target",
+        dest="protocol",
         default=None,
         help="explore target: any registry protocol or an ablation such as "
-        "fast-crash@eager-reader (underscores normalise to hyphens)",
+        "fast-crash@eager-reader or fast-byzantine@gullible-reader "
+        "(underscores normalise to hyphens)",
     )
     xpl.add_argument(
         "--mode", default="exhaustive", choices=["exhaustive", "random"]
@@ -493,6 +499,24 @@ def build_parser() -> argparse.ArgumentParser:
     xpl.add_argument("--reads", type=int, default=1, help="reads per reader")
     xpl.add_argument(
         "--crashes", type=int, default=0, help="server-crash budget (<= t)"
+    )
+    xpl.add_argument(
+        "--b", type=int, default=0, help="model's Byzantine server count b (<= t)"
+    )
+    xpl.add_argument(
+        "--byzantine",
+        type=int,
+        default=0,
+        help="server-corruption budget (<= b): servers the adversary may "
+        "turn Byzantine, unlocking lie:<strategy> content choice points",
+    )
+    xpl.add_argument(
+        "--strategies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="equivocation menu for corrupted servers (default: the full "
+        "bounded menu; see repro.adversary.STRATEGIES)",
     )
     xpl.add_argument("--walks", type=int, default=1000, help="random mode: walk count")
     xpl.add_argument("--seed", type=int, default=0, help="random mode: root seed")

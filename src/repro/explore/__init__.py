@@ -30,6 +30,8 @@ from repro.explore.explorer import (
     STATELESS,
     ExploreResult,
     ExploreStats,
+    FingerprintBloom,
+    SharedMemo,
     TransitionBudget,
     explore,
     random_walks,
@@ -60,6 +62,7 @@ __all__ = [
     "ExploreShard",
     "ExploreStats",
     "ExploreTarget",
+    "FingerprintBloom",
     "INCREMENTAL",
     "Oracle",
     "RANDOM",
@@ -67,6 +70,7 @@ __all__ = [
     "ReplayChooser",
     "STATELESS",
     "ScheduleDriver",
+    "SharedMemo",
     "TARGETS",
     "TransitionBudget",
     "build_counterexample",

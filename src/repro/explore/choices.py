@@ -68,6 +68,7 @@ def quorum_walk(
     oracle: Optional[Oracle] = None,
     partial_prob: float = 0.3,
     crash_prob: float = 0.15,
+    lie_prob: float = 0.4,
 ) -> ScheduleDriver:
     """A structured random walk in the shape of the paper's constructions.
 
@@ -83,6 +84,13 @@ def quorum_walk(
     uniform walks practically never hit (e.g. the Section 5 lower-bound
     schedule), while the uniform policy covers fine-grained
     interleavings this one skips.
+
+    When the scenario carries a Byzantine budget, each serve may be
+    swapped (with ``lie_prob``) for one of its enabled ``lie:…``
+    variants — the equivocation-laced quorums of the Section 6.2 run.
+    The extra randomness draws happen only on Byzantine scenarios, so
+    crash-only walks keep their exact historical draw sequence (and
+    every seeded corpus entry its schedule).
     """
 
     def labels(prefix: str) -> List[str]:
@@ -93,8 +101,22 @@ def quorum_walk(
             return False
         return not oracle.judge(driver.history)
 
+    def serve_or_lie(serve: str) -> None:
+        if byzantine:
+            suffix = serve.partition(":")[2]  # "<client>#<k>:<server>"
+            lies = [
+                label
+                for label in labels("lie:")
+                if label.split(":", 2)[2] == suffix
+            ]
+            if lies and chooser.random() < lie_prob:
+                driver.apply(lies[chooser.randrange(len(lies))])
+                return
+        driver.apply(serve)
+
     driver = ScheduleDriver(scenario)
     quorum = scenario.config.quorum
+    byzantine = scenario.byzantine_budget > 0
     while len(driver.schedule) < depth:
         crashes = labels("crash:")
         if crashes and chooser.random() < crash_prob:
@@ -119,7 +141,7 @@ def quorum_walk(
         for serve in order:
             if len(driver.schedule) >= depth:
                 break
-            driver.apply(serve)
+            serve_or_lie(serve)
         if violated():
             break
         if partial:

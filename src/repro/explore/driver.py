@@ -29,6 +29,20 @@ vocabulary:
     can overtake.
 ``crash:<server>``
     Crash a server, consuming one unit of the crash budget.
+``lie:<strategy>:<client>#<k>:<server>``
+    The Byzantine *content* choice point: deliver the oldest in-transit
+    request of the operation to ``server`` like a ``serve``, but
+    corrupt the server's reply with the named
+    :class:`~repro.adversary.strategies.ReplyStrategy` before it is
+    delivered back.  The first lie by a server *corrupts* it,
+    consuming one unit of the Byzantine budget (≤ the model's ``b``);
+    an already-corrupted server lies for free and may still answer
+    honestly (``serve``) — a Byzantine server's behaviour is arbitrary
+    per message.  The server's internal state stays honest (the liar
+    knows exactly what a correct server knows; it only corrupts what
+    it sends), matching the Section 6 adversary that can withhold and
+    distort but never forge a valid signature.  The strategy menu is
+    the scenario's, bounded, so the branching factor stays finite.
 
 Messages on one (operation, link) queue deliver in FIFO order; the
 adversary chooses freely *across* queues.  Labels are deterministic
@@ -42,11 +56,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.errors import ScheduleError
+from repro.adversary import Adversary, DEFAULT_MENU, DROP, StrategyContext
+from repro.errors import ConfigurationError, ScheduleError
 from repro.explore.targets import ExploreTarget, get_target
 from repro.registers.base import ClusterConfig
 from repro.sim.controller import ScriptedExecution
-from repro.sim.ids import ProcessId
+from repro.sim.ids import ProcessId, writer as writer_id
 from repro.sim.messages import Envelope
 from repro.sim.state import canon_process, canon_value
 from repro.spec.histories import History, Operation, parse_pid
@@ -61,9 +76,13 @@ class ExploreScenario:
     """A fully deterministic exploration setup (picklable: names + ints).
 
     ``crash_budget`` bounds how many servers the adversary may crash
-    (capped by the model's ``t``).  Write values are ``1, 2, ...`` for a
-    single writer and ``"w2.1"``-style strings when several writers must
-    stay distinguishable.
+    (capped by the model's ``t``); ``byzantine_budget`` bounds how many
+    it may *corrupt* (capped by the model's ``b``), and ``strategies``
+    names the bounded equivocation menu corrupted servers draw replies
+    from (defaulting to :data:`repro.adversary.DEFAULT_MENU` whenever
+    the Byzantine budget is positive).  Write values are ``1, 2, ...``
+    for a single writer and ``"w2.1"``-style strings when several
+    writers must stay distinguishable.
     """
 
     target: str
@@ -71,19 +90,32 @@ class ExploreScenario:
     writes_per_writer: int = 1
     reads_per_reader: int = 1
     crash_budget: int = 0
+    byzantine_budget: int = 0
+    strategies: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.crash_budget > self.config.t:
-            raise ScheduleError(
-                f"crash budget {self.crash_budget} exceeds the model's "
-                f"t={self.config.t}"
-            )
+        if self.byzantine_budget > 0 and not self.strategies:
+            object.__setattr__(self, "strategies", DEFAULT_MENU)
+        if not isinstance(self.strategies, tuple):
+            object.__setattr__(self, "strategies", tuple(self.strategies))
+        try:
+            self.adversary().validate(self.config)
+        except ConfigurationError as exc:
+            raise ScheduleError(str(exc)) from None
+
+    def adversary(self) -> Adversary:
+        """The scenario's fault allowances as one unified model."""
+        return Adversary(
+            crash_budget=self.crash_budget,
+            byzantine_budget=self.byzantine_budget,
+            strategies=self.strategies,
+        )
 
     def resolve(self) -> ExploreTarget:
         return get_target(self.target)
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "target": self.target,
             "config": {
                 "S": self.config.S,
@@ -96,6 +128,12 @@ class ExploreScenario:
             "reads_per_reader": self.reads_per_reader,
             "crash_budget": self.crash_budget,
         }
+        # Adversary content choices serialize only when present, so
+        # crash-only scenarios keep their schema-v1 shape byte-exactly.
+        if self.byzantine_budget > 0:
+            payload["byzantine_budget"] = self.byzantine_budget
+            payload["strategies"] = list(self.strategies)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ExploreScenario":
@@ -105,6 +143,8 @@ class ExploreScenario:
             writes_per_writer=int(payload["writes_per_writer"]),
             reads_per_reader=int(payload["reads_per_reader"]),
             crash_budget=int(payload["crash_budget"]),
+            byzantine_budget=int(payload.get("byzantine_budget", 0)),
+            strategies=tuple(payload.get("strategies", ())),
         )
 
 
@@ -176,6 +216,17 @@ class ScheduleDriver:
         self.config = scenario.config
         self.schedule: List[str] = []
         self.crashes_used = 0
+        self.adversary = scenario.adversary()
+        #: Servers that have told at least one lie; the first lie
+        #: consumes one unit of the Byzantine budget.
+        self.corrupted: FrozenSet[ProcessId] = frozenset()
+        self._menu = self.adversary.menu()
+        self._strategies = {strategy.name: strategy for strategy in self._menu}
+        self._strategy_ctx = StrategyContext(
+            authority=cluster.authority,
+            writer=writer_id(1),
+            clients=tuple(scenario.config.client_ids),
+        )
         self._programs: Dict[ProcessId, _ClientProgram] = {}
         self._op_labels: Dict[int, str] = {}
         self._ops_by_label: Dict[str, Operation] = {}
@@ -209,6 +260,7 @@ class ScheduleDriver:
             for pid in self.config.server_ids
         }
         self._classify_cache: Dict[Tuple, Optional[Action]] = {}
+        self._lie_cache: Dict[Tuple[int, str], Action] = {}
         self._proc_canon: Dict[ProcessId, Dict[int, Tuple]] = {}
         self._env_canon: Dict[int, object] = {}
         self._hist_canon: Dict[int, Tuple] = {}
@@ -247,6 +299,7 @@ class ScheduleDriver:
             self.execution.checkpoint(),
             len(self.schedule),
             self.crashes_used,
+            self.corrupted,
             tuple(
                 (pid, program.issued) for pid, program in self._programs.items()
             ),
@@ -255,10 +308,11 @@ class ScheduleDriver:
 
     def undo(self, mark: Tuple) -> None:
         """Rewind driver and execution to a :meth:`mark` checkpoint."""
-        checkpoint, schedule_len, crashes_used, issued, next_op_id = mark
+        checkpoint, schedule_len, crashes_used, corrupted, issued, next_op_id = mark
         self.execution.rollback(checkpoint)
         del self.schedule[schedule_len:]
         self.crashes_used = crashes_used
+        self.corrupted = corrupted
         for pid, count in issued:
             program = self._programs[pid]
             program.issued = count
@@ -276,12 +330,15 @@ class ScheduleDriver:
 
         Two driver states with equal fingerprints are indistinguishable
         to any future schedule: same automaton states, same per-queue
-        FIFO transit contents, same remaining client programs and crash
-        budget, and histories equal up to a monotone re-timing (times
-        are rank-normalised, which preserves every real-time-precedence
-        comparison a verdict can depend on).  Envelope ids, send times
-        and virtual-clock values are deliberately excluded — they are
-        unobservable to automata and to the oracle.
+        FIFO transit contents, same remaining client programs, crash
+        budget and per-server corruption state (which servers have
+        lied: it gates the future ``lie:…`` menu and the remaining
+        Byzantine allowance), and histories equal up to a monotone
+        re-timing (times are rank-normalised, which preserves every
+        real-time-precedence comparison a verdict can depend on).
+        Envelope ids, send times and virtual-clock values are
+        deliberately excluded — they are unobservable to automata and
+        to the oracle.
 
         On an undo-enabled driver the per-process, per-envelope and
         history encodings are cached, keyed by the execution's
@@ -371,7 +428,14 @@ class ScheduleDriver:
                 if len(self._hist_canon) > 8192:
                     self._hist_canon.clear()
                 self._hist_canon[history_version] = history
-        return (processes, transit, programs, self.crashes_used, history)
+        return (
+            processes,
+            transit,
+            programs,
+            self.crashes_used,
+            tuple(sorted(self.corrupted)),
+            history,
+        )
 
     # ------------------------------------------------------------------
     # enabled actions
@@ -393,14 +457,63 @@ class ScheduleDriver:
                 if not processes[pid].crashed:
                     actions.append(self._crash_actions[pid])
         seen_labels = set()
+        menu = self._menu
+        can_recruit = (
+            len(self.corrupted) < self.byzantine_allowance if menu else False
+        )
         for env in self.execution.network.transit:
             action = self._classify(env)
-            if action is None or action.label in seen_labels:
-                continue
-            seen_labels.add(action.label)
-            actions.append(action)
+            if action is not None and action.label not in seen_labels:
+                seen_labels.add(action.label)
+                actions.append(action)
+            if (
+                menu
+                and env.src.is_client
+                and env.dst.is_server
+                and (can_recruit or env.dst in self.corrupted)
+                and not processes[env.dst].crashed
+            ):
+                op_label = self._op_labels.get(env.op_id)
+                if (
+                    op_label is not None
+                    and not self._ops_by_label[op_label].complete
+                ):
+                    for strategy in menu:
+                        lie = self._lie_action(env, op_label, strategy.name)
+                        if lie.label not in seen_labels:
+                            seen_labels.add(lie.label)
+                            actions.append(lie)
         actions.sort(key=lambda action: action.label)
         return actions
+
+    @property
+    def byzantine_allowance(self) -> int:
+        """Servers the adversary may corrupt: ``min(budget, b)``."""
+        return min(self.scenario.byzantine_budget, self.config.b)
+
+    def _lie_action(self, env: Envelope, op_label: str, strategy: str) -> Action:
+        """The content choice point for one (request, strategy) pair.
+
+        Like the ``serve`` it shadows, a lie may complete the victim's
+        operation (the corrupted reply is delivered back), so its
+        footprint covers both the server and the invoking client and it
+        pairs with invocations for the reduction's completion rule.
+        """
+        cache = self._lie_cache
+        key = (env.env_id, strategy)
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        if len(cache) > 100_000:
+            cache.clear()
+        action = Action(
+            label=f"lie:{strategy}:{op_label}:{env.dst}",
+            footprint=frozenset((env.dst, env.src)),
+            completes=True,
+        )
+        cache[key] = action
+        return action
 
     def _classify(self, env: Envelope) -> Optional[Action]:
         """Map one in-transit envelope to its action, or ``None``.
@@ -485,6 +598,8 @@ class ScheduleDriver:
             self._apply_reply(rest)
         elif kind == "msg":
             self._apply_msg(rest)
+        elif kind == "lie":
+            self._apply_lie(rest)
         else:
             raise ScheduleError(f"malformed action label {label!r}")
         self.schedule.append(label)
@@ -558,6 +673,71 @@ class ScheduleDriver:
             reply = self._oldest(src=server_pid, dst=op.proc, op_id=op.op_id)
             if reply is not None:
                 self.execution.deliver(reply)
+
+    def _apply_lie(self, rest: str) -> None:
+        """Serve a request through a lying server.
+
+        The request is delivered (the server's *state* updates
+        honestly — the liar knows what a correct server knows), the
+        honest reply is corrupted in transit by the strategy, and the
+        corrupted reply is delivered back while the operation is still
+        pending — one choice covering the request/corrupted-ack round
+        trip, mirroring ``serve``.  A strategy may also withhold the
+        reply (:data:`repro.adversary.DROP`) or declare itself
+        inapplicable (the honest reply then travels unchanged: a lie
+        that tells the truth, legal for a Byzantine server).
+        """
+        strategy_name, _, tail = rest.partition(":")
+        strategy = self._strategies.get(strategy_name)
+        if strategy is None:
+            raise ScheduleError(
+                f"strategy {strategy_name!r} is not in this scenario's menu"
+            )
+        op_label, _, server_text = tail.rpartition(":")
+        server_pid = parse_pid(server_text)
+        if not server_pid.is_server:
+            raise ScheduleError(f"{server_text} is not a server; cannot lie")
+        if (
+            server_pid not in self.corrupted
+            and len(self.corrupted) >= self.byzantine_allowance
+        ):
+            raise ScheduleError("Byzantine corruption budget exhausted")
+        op = self._resolve_op(op_label)
+        if op.complete:
+            raise ScheduleError(
+                f"{op_label} already completed; lies target pending operations"
+            )
+        request = self._oldest(src=op.proc, dst=server_pid, op_id=op.op_id)
+        if request is None:
+            raise ScheduleError(
+                f"no request of {op_label} in transit to {server_text}"
+            )
+        self.corrupted = self.corrupted | {server_pid}
+        # Only messages the server emits *now* are corruptible: a liar
+        # cannot reach back into envelopes already in flight, so the
+        # scan starts where the transit pool ends once the request
+        # leaves it.
+        emitted_from = len(self.execution.network.transit) - 1
+        self.execution.deliver(request)
+        reply = None
+        for env in self.execution.network.transit[emitted_from:]:
+            if (
+                env.src == server_pid
+                and env.dst == op.proc
+                and env.op_id == op.op_id
+            ):
+                reply = env
+                break
+        if reply is None:
+            return  # the server chose not to answer; nothing to corrupt
+        corrupted = strategy.corrupt(reply.payload, self._strategy_ctx)
+        if corrupted is DROP:
+            self.execution.drop(reply)
+            return
+        if corrupted is not None:
+            reply = self.execution.corrupt_reply(reply, corrupted)
+        if not op.complete:
+            self.execution.deliver(reply)
 
     def _apply_reply(self, rest: str) -> None:
         op_label, _, server_text = rest.rpartition(":")

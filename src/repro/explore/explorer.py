@@ -41,6 +41,7 @@ and, on violation, shrink the schedule to a 1-minimal counterexample
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -79,6 +80,7 @@ class ExploreStats:
     schedules: int = 0  # maximal paths covered (terminal or depth-capped)
     sleep_pruned: int = 0  # enabled actions skipped by the reduction
     memo_hits: int = 0  # subtrees skipped by the fingerprint memo
+    shared_memo_hits: int = 0  # subtrees skipped via the cross-process memo
     max_depth_seen: int = 0
     max_enabled: int = 0
     violations: int = 0
@@ -88,6 +90,7 @@ class ExploreStats:
         self.schedules += other.schedules
         self.sleep_pruned += other.sleep_pruned
         self.memo_hits += other.memo_hits
+        self.shared_memo_hits += other.shared_memo_hits
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.max_enabled = max(self.max_enabled, other.max_enabled)
         self.violations += other.violations
@@ -98,6 +101,7 @@ class ExploreStats:
             "schedules": self.schedules,
             "sleep_pruned": self.sleep_pruned,
             "memo_hits": self.memo_hits,
+            "shared_memo_hits": self.shared_memo_hits,
             "max_depth_seen": self.max_depth_seen,
             "max_enabled": self.max_enabled,
             "violations": self.violations,
@@ -197,10 +201,13 @@ class _Memo:
     #: more than a few distinct (sleep set, depth) combinations.
     MAX_VARIANTS = 6
 
-    __slots__ = ("table",)
+    __slots__ = ("table", "hits")
 
     def __init__(self) -> None:
         self.table: Dict[Tuple, List[Tuple]] = {}
+        #: Per-fingerprint hit counts — the "hot state" signal the
+        #: cross-process prefilter (:class:`SharedMemo`) is seeded from.
+        self.hits: Dict[Tuple, int] = {}
 
     def lookup(
         self, key: Tuple, sleep_labels: frozenset, depth_left: int
@@ -213,9 +220,12 @@ class _Memo:
         for entry in self.table.get(key, ()):
             if entry[1] >= depth_left and entry[0] <= sleep_labels:
                 if entry[1] == depth_left and entry[0] == sleep_labels:
-                    return entry
+                    best = entry
+                    break
                 if best is None:
                     best = entry
+        if best is not None:
+            self.hits[key] = self.hits.get(key, 0) + 1
         return best
 
     def store(
@@ -239,6 +249,121 @@ class _Memo:
             )
 
 
+class FingerprintBloom:
+    """Compact membership prefilter over canonical fingerprint keys.
+
+    Hashes must agree across worker processes, so the two probe
+    positions are derived from BLAKE2b over the key's ``repr`` (a pure
+    function of the canonical encoding) rather than Python's
+    per-process-randomised ``hash``.  False positives only cost one
+    extra dict probe in :class:`SharedMemo`; false negatives only cost
+    a missed cross-process hit — never soundness.
+    """
+
+    __slots__ = ("bits", "mask")
+
+    def __init__(self, bits: bytearray, mask: int) -> None:
+        self.bits = bits
+        self.mask = mask
+
+    @classmethod
+    def empty(cls, capacity: int) -> "FingerprintBloom":
+        """A filter sized for ``capacity`` keys (~16 bits per key)."""
+        size = 1 << max(12, (max(capacity, 1) * 16).bit_length())
+        return cls(bytearray(size // 8), size - 1)
+
+    @staticmethod
+    def _probes(key: Tuple) -> Tuple[int, int]:
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=16
+        ).digest()
+        return (
+            int.from_bytes(digest[:8], "little"),
+            int.from_bytes(digest[8:], "little"),
+        )
+
+    def add(self, key: Tuple) -> None:
+        for probe in self._probes(key):
+            position = probe & self.mask
+            self.bits[position >> 3] |= 1 << (position & 7)
+
+    def __contains__(self, key: Tuple) -> bool:
+        for probe in self._probes(key):
+            position = probe & self.mask
+            if not self.bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+
+class SharedMemo:
+    """Read-only cross-process slice of a fingerprint memo.
+
+    Built once (in the parent, from a bounded seeding probe of the same
+    search) and shipped to every worker through the pool initializer:
+    the per-shard memos stay private, but diamond states that span
+    shard boundaries — re-reachable under several prefixes — resolve
+    against this table instead of being re-explored once per shard.
+    Every entry certifies a subtree the probe fully explored clean, so
+    lookups are sound under exactly the conditions of :class:`_Memo`
+    (stored sleep set ⊆ current, stored depth ≥ needed).
+
+    The bloom filter fronts the table: most states are *not* hot, and
+    one bloom test (two bit probes over a digest) answers those without
+    touching the entry dict.
+    """
+
+    __slots__ = ("bloom", "entries")
+
+    #: Hot entries shipped at most; keeps the initializer payload small.
+    MAX_ENTRIES = 4096
+
+    def __init__(
+        self, bloom: FingerprintBloom, entries: Dict[Tuple, List[Tuple]]
+    ) -> None:
+        self.bloom = bloom
+        self.entries = entries
+
+    @classmethod
+    def build(
+        cls, memo: _Memo, max_entries: int = MAX_ENTRIES
+    ) -> Optional["SharedMemo"]:
+        """Select the probe memo's hottest entries behind a bloom filter.
+
+        Hotness is the probe's own hit count (states that already
+        recurred once are the ones that span shard boundaries), with
+        covered-schedule weight as the tiebreak; the selection is a
+        pure function of the memo contents, so every worker count sees
+        the same shared table.  Returns ``None`` when the probe stored
+        nothing worth sharing.
+        """
+        if not memo.table:
+            return None
+        ranked = sorted(
+            memo.table.items(),
+            key=lambda item: (
+                -memo.hits.get(item[0], 0),
+                -max(entry[2] for entry in item[1]),
+                repr(item[0]),
+            ),
+        )[:max_entries]
+        bloom = FingerprintBloom.empty(len(ranked))
+        entries: Dict[Tuple, List[Tuple]] = {}
+        for key, variants in ranked:
+            bloom.add(key)
+            entries[key] = list(variants)
+        return cls(bloom, entries)
+
+    def lookup(
+        self, key: Tuple, sleep_labels: frozenset, depth_left: int
+    ) -> Optional[Tuple]:
+        if key not in self.bloom:
+            return None
+        for entry in self.entries.get(key, ()):
+            if entry[1] >= depth_left and entry[0] <= sleep_labels:
+                return entry
+        return None
+
+
 def _replay_prefix(
     scenario: ExploreScenario, prefix: Sequence[str]
 ) -> ScheduleDriver:
@@ -260,6 +385,8 @@ def explore(
     prefix_sleep: Sequence[Action] = (),
     budget: Optional[TransitionBudget] = None,
     max_seconds: Optional[float] = None,
+    memo: Optional[_Memo] = None,
+    shared_memo: Optional[SharedMemo] = None,
 ) -> ExploreResult:
     """Enumerate every schedule of ``scenario`` up to ``depth`` actions.
 
@@ -286,6 +413,13 @@ def explore(
     :class:`TransitionBudget` of ``max_transitions`` (and optionally
     ``max_seconds`` of wall clock) is used.
 
+    ``memo`` lets the caller supply (and afterwards inspect) the
+    fingerprint memo — the parallel fan-out's seeding probe harvests
+    its entries this way.  ``shared_memo`` is a read-only
+    :class:`SharedMemo` consulted on local-memo misses; hits are
+    counted separately (``shared_memo_hits``) and credited exactly like
+    local ones.  Both are ignored when memoization is off.
+
     Violations stop the search once ``max_counterexamples`` schedules
     have been found (each shrunk and packaged); the stats still count
     everything explored up to that point.
@@ -300,7 +434,11 @@ def explore(
     counterexamples: List[Counterexample] = []
     if budget is None:
         budget = TransitionBudget(max_transitions, max_seconds=max_seconds)
-    memo = _Memo() if use_memo else None
+    if not use_memo:
+        memo = None
+        shared_memo = None
+    elif memo is None:
+        memo = _Memo()
     incremental = engine == INCREMENTAL
 
     def record_violation(schedule: Sequence[str]) -> None:
@@ -341,6 +479,11 @@ def explore(
             hit = memo.lookup(key, sleep_labels, depth_left)
             if hit is not None:
                 stats.memo_hits += 1
+            elif shared_memo is not None:
+                hit = shared_memo.lookup(key, sleep_labels, depth_left)
+                if hit is not None:
+                    stats.shared_memo_hits += 1
+            if hit is not None:
                 stats.schedules += hit[2]
                 deepest = len(path) + min(hit[3], depth_left)
                 stats.max_depth_seen = max(stats.max_depth_seen, deepest)

@@ -50,9 +50,26 @@ class Oracle:
 
 @dataclass
 class Counterexample:
-    """A minimal violating schedule plus everything needed to replay it."""
+    """A minimal violating schedule plus everything needed to replay it.
 
-    FORMAT = "repro-counterexample/v1"
+    Two artifact schema versions coexist:
+
+    * ``v1`` — crash-only scenarios (no adversary content choices).
+    * ``v2`` — additionally carries the adversary strategy menu and
+      Byzantine budget inside the scenario, so ``lie:…`` schedules
+      replay byte-exactly.
+
+    Loading preserves the artifact's version and serialization emits it
+    back, so a v1 corpus entry round-trips through
+    ``from_json``/``to_json`` unchanged; new artifacts are written as
+    v2 (which degrades to the v1 payload shape when the scenario has no
+    adversary content).
+    """
+
+    FORMAT_V1 = "repro-counterexample/v1"
+    FORMAT_V2 = "repro-counterexample/v2"
+    FORMAT = FORMAT_V2
+    FORMATS = (FORMAT_V1, FORMAT_V2)
 
     scenario: ExploreScenario
     property_name: str
@@ -60,6 +77,7 @@ class Counterexample:
     verdict: Verdict
     history: History
     provenance: Dict = field(default_factory=dict)
+    format_version: str = FORMAT_V2
 
     def key(self) -> tuple:
         """Stable identity for deterministic merging and deduplication."""
@@ -67,7 +85,7 @@ class Counterexample:
 
     def to_dict(self) -> Dict:
         return {
-            "format": self.FORMAT,
+            "format": self.format_version,
             "scenario": self.scenario.to_dict(),
             "property": self.property_name,
             "schedule": list(self.schedule),
@@ -86,13 +104,19 @@ class Counterexample:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Counterexample":
-        if payload.get("format") != cls.FORMAT:
+        fmt = payload.get("format")
+        if fmt not in cls.FORMATS:
             raise SpecificationError(
-                f"unsupported counterexample format {payload.get('format')!r}"
+                f"unsupported counterexample format {fmt!r}"
+            )
+        scenario = ExploreScenario.from_dict(payload["scenario"])
+        if fmt == cls.FORMAT_V1 and scenario.byzantine_budget > 0:
+            raise SpecificationError(
+                "v1 counterexamples cannot carry adversary content choices"
             )
         verdict = payload["verdict"]
         return cls(
-            scenario=ExploreScenario.from_dict(payload["scenario"]),
+            scenario=scenario,
             property_name=payload["property"],
             schedule=list(payload["schedule"]),
             verdict=Verdict(
@@ -103,6 +127,7 @@ class Counterexample:
             ),
             history=History.from_dict(payload["history"]),
             provenance=dict(payload.get("provenance", {})),
+            format_version=fmt,
         )
 
     @classmethod

@@ -42,7 +42,9 @@ from repro.explore.explorer import (
     INCREMENTAL,
     ExploreResult,
     ExploreStats,
+    SharedMemo,
     TransitionBudget,
+    _Memo,
     explore,
     random_walks,
 )
@@ -86,21 +88,37 @@ class ExploreShard:
 
 
 # ----------------------------------------------------------------------
-# shared transition budget
+# shared transition budget + cross-process memo
 
 #: Worker-side handle to the shared allowance, set by the pool
 #: initializer (inherited over fork, re-initialized over spawn).
 _SHARED_COUNTER = None
+
+#: Worker-side handle to the cross-process fingerprint memo (a
+#: read-only :class:`~repro.explore.explorer.SharedMemo`), set by the
+#: same initializer.
+_SHARED_MEMO = None
 
 #: Transitions a worker grabs from the shared counter per lock
 #: acquisition; small enough that an exhausted budget truncates all
 #: workers promptly, large enough that the lock stays off the hot path.
 BUDGET_CHUNK = 512
 
+#: Ceiling on the seeding probe that harvests hot fingerprint entries
+#: for the cross-process memo; also capped at a quarter of the run's
+#: remaining allowance so tight budgets stay with the shards.
+PROBE_TRANSITIONS = 20_000
 
-def _init_shared_budget(counter) -> None:
-    global _SHARED_COUNTER
+
+def _init_worker(counter, shared_memo=None) -> None:
+    global _SHARED_COUNTER, _SHARED_MEMO
     _SHARED_COUNTER = counter
+    _SHARED_MEMO = shared_memo
+
+
+#: Backwards-compatible alias (the initializer used to carry only the
+#: budget counter).
+_init_shared_budget = _init_worker
 
 
 class SharedTransitionBudget(TransitionBudget):
@@ -161,6 +179,7 @@ def execute_shard(shard: ExploreShard) -> ExploreResult:
                 prefix=shard.prefix,
                 prefix_sleep=shard.prefix_sleep,
                 budget=budget,
+                shared_memo=_SHARED_MEMO,
             )
         finally:
             if budget is not None:
@@ -392,6 +411,36 @@ def explore_parallel(
     ]
     remaining = max(0, max_transitions - planner_budget.spent)
     parallel = max(1, int(parallel))
+    use_memo = engine == INCREMENTAL and (memoize is None or memoize)
+    shared = None
+    if use_memo and len(shards) > 1 and remaining > 0:
+        # Seeding probe for the cross-process memo: a bounded run of
+        # the same search (same reduction, same oracle) whose memo
+        # entries — clean, fully-explored subtrees — are certified for
+        # every shard.  The hottest ones ship to the workers behind a
+        # bloom prefilter, so diamond states spanning shard boundaries
+        # collapse once instead of once per shard.  The probe is a pure
+        # function of (scenario, bounds): shard results stay identical
+        # for every worker count, and its transitions are drawn from —
+        # and reported against — the shared allowance.
+        probe_budget = TransitionBudget(
+            max(1, min(PROBE_TRANSITIONS, remaining // 4))
+        )
+        probe_memo = _Memo()
+        explore(
+            scenario,
+            depth=depth,
+            reduce=reduce,
+            shrink=False,
+            max_counterexamples=1,
+            engine=INCREMENTAL,
+            memoize=True,
+            budget=probe_budget,
+            memo=probe_memo,
+        )
+        shared = SharedMemo.build(probe_memo)
+        base.stats.transitions += probe_budget.spent
+        remaining = max(0, remaining - probe_budget.spent)
     if parallel == 1 or len(shards) <= 1:
         # In-process path: one plain budget object shared across the
         # shards; never touches the worker-global budget slot, so a
@@ -409,6 +458,7 @@ def explore_parallel(
                 prefix=shard.prefix,
                 prefix_sleep=shard.prefix_sleep,
                 budget=budget,
+                shared_memo=shared,
             )
             for shard in shards
         ]
@@ -423,8 +473,8 @@ def explore_parallel(
             shards,
             parallel,
             ctx_name,
-            initializer=_init_shared_budget,
-            initargs=(counter,),
+            initializer=_init_worker,
+            initargs=(counter, shared),
         )
     return _merge(
         scenario, EXHAUSTIVE, depth, reduce, [base] + results,

@@ -71,6 +71,16 @@ _ABLATION_CLASSES = {
     "hasty-writer": {"writer_cls": ablations.HastyWriter},
 }
 
+#: Ablations of Figure 5's Byzantine defenses: each removes one check
+#: and is expected to lose *inside* the feasible region once the
+#: adversary's content choices (a ``byzantine_budget``) are in play —
+#: ``gullible-reader`` to a single forged tag, ``crash-predicate`` to
+#: evidence-starving stale lies after a completed write.
+_BYZANTINE_ABLATION_CLASSES = {
+    "gullible-reader": ablations.GullibleReader,
+    "crash-predicate": ablations.CrashPredicateReader,
+}
+
 
 def _ablation_target(flaw: str) -> ExploreTarget:
     classes = _ABLATION_CLASSES[flaw]
@@ -88,12 +98,30 @@ def _ablation_target(flaw: str) -> ExploreTarget:
     )
 
 
+def _byzantine_ablation_target(flaw: str) -> ExploreTarget:
+    reader_cls = _BYZANTINE_ABLATION_CLASSES[flaw]
+    fast_byzantine = PROTOCOLS["fast-byzantine"]
+    return ExploreTarget(
+        name=f"fast-byzantine@{flaw}",
+        summary=f"Figure 5 with the {flaw} ablation (deliberately broken)",
+        build=lambda config, _cls=reader_cls: (
+            ablations.build_byzantine_ablated_cluster(config, reader_cls=_cls)
+        ),
+        requirement=fast_byzantine.requirement,
+        property=ATOMIC,
+        expected_ok=False,
+    )
+
+
 def _build_targets() -> Dict[str, ExploreTarget]:
     targets: Dict[str, ExploreTarget] = {}
     for name in PROTOCOLS:
         targets[name] = _registry_target(name)
     for flaw in _ABLATION_CLASSES:
         target = _ablation_target(flaw)
+        targets[target.name] = target
+    for flaw in _BYZANTINE_ABLATION_CLASSES:
+        target = _byzantine_ablation_target(flaw)
         targets[target.name] = target
     return targets
 

@@ -1,11 +1,30 @@
-"""Fault injection: crash plans and Byzantine server behaviours."""
+"""Fault injection for free-running simulations.
 
+Crash plans schedule timing faults; the Byzantine wrapper servers give
+faulty replicas arbitrary *content* behaviour.  Both faces are now
+specified by the unified adversary layer (:mod:`repro.adversary`):
+wrapper servers apply its bounded reply-corruption strategies, and the
+same strategies back the schedule explorer's ``lie:…`` choice points —
+the adversary is one inspectable model, not a pile of injectors.
+"""
+
+from repro.adversary import (
+    Adversary,
+    DEFAULT_MENU,
+    DROP,
+    STRATEGIES,
+    ReplyStrategy,
+    StrategyContext,
+    get_strategy,
+)
 from repro.faults.byzantine import (
     ByzantineServer,
     ForgedTagServer,
+    MemoryWipeServer,
     SeenInflaterServer,
     SilentServer,
     StaleReplayServer,
+    StrategyServer,
     TwoFacedServer,
     run_captured,
 )
@@ -20,15 +39,24 @@ from repro.faults.crash import (
 )
 
 __all__ = [
+    "Adversary",
     "ByzantineServer",
     "CrashEvent",
     "CrashPlan",
+    "DEFAULT_MENU",
+    "DROP",
     "ForgedTagServer",
+    "MemoryWipeServer",
+    "STRATEGIES",
+    "ReplyStrategy",
     "SeenInflaterServer",
     "SilentServer",
     "StaleReplayServer",
+    "StrategyContext",
+    "StrategyServer",
     "TwoFacedServer",
     "crash_writer_mid_write",
+    "get_strategy",
     "merge_plans",
     "random_reader_crashes",
     "random_server_crashes",

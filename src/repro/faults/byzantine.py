@@ -5,17 +5,27 @@ replaces an honest server (same process id) via
 :meth:`repro.registers.base.Cluster.replace_server`.  None of them can
 forge the writer's signature — they manipulate only information they
 legitimately received, which is exactly the adversary the Figure 5
-algorithm is proved against:
+algorithm is proved against.
+
+The *content* each liar puts on the wire comes from the unified
+adversary layer: a :class:`~repro.adversary.strategies.ReplyStrategy`
+from :mod:`repro.adversary` transforms the honest reply, so the same
+bounded menu drives these wrappers, the scripted lower-bound
+constructions and the explorer's ``lie:…`` choice points.
 
 * :class:`SilentServer` — crashes from the start (the ``b ≤ t`` liars
   may also simply stop).
+* :class:`StrategyServer` — runs an inner honest automaton and applies
+  one named strategy to every reply; the classes below are its
+  signature-compatible specialisations.
 * :class:`StaleReplayServer` — answers every request with the oldest
-  tag it knows (validly signed, maximally stale).
+  tag it knows (validly signed, maximally stale; the ``stale``
+  strategy).
 * :class:`SeenInflaterServer` — answers honestly but claims *every*
-  client is in its ``seen`` set, attacking the fast-read predicate from
-  the other side.
+  client is in its ``seen`` set (the ``inflate-seen`` strategy).
 * :class:`ForgedTagServer` — tries to invent a huge timestamp with a
-  forged signature; honest readers and servers must discard it.
+  forged signature (the ``forge`` strategy); honest readers and
+  servers must discard it.
 * :class:`TwoFacedServer` — maintains a real state and a shadow state
   that never learns about writes, answering a chosen set of victims
   from the shadow.  With the victims set to one reader this is
@@ -25,12 +35,17 @@ algorithm is proved against:
 
 from __future__ import annotations
 
-from typing import Any, Callable, FrozenSet, Iterable, List, Tuple
+from typing import Any, Callable, FrozenSet, Iterable, List, Tuple, Union
 
+from repro.adversary.strategies import (
+    DROP,
+    ReplyStrategy,
+    StrategyContext,
+    get_strategy,
+)
 from repro.crypto.signatures import SignatureAuthority
 from repro.errors import ProtocolError
 from repro.registers import messages as msg
-from repro.registers.timestamps import INITIAL_SIGNED_TAG, SignedValueTag
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context, Process
 
@@ -81,7 +96,45 @@ class SilentServer(ByzantineServer):
         return
 
 
-class StaleReplayServer(ByzantineServer):
+class StrategyServer(ByzantineServer):
+    """Wraps an honest automaton, corrupting every reply with one strategy.
+
+    The wrapper is the free-running face of the adversary layer's
+    content choices: the inner automaton processes each message
+    honestly (so the liar's knowledge is exactly a correct server's),
+    and the named :class:`~repro.adversary.strategies.ReplyStrategy`
+    decides what actually goes on the wire — a corrupted reply, the
+    honest one (strategy not applicable), or nothing (:data:`DROP`).
+    """
+
+    def __init__(
+        self,
+        inner: Process,
+        strategy: Union[str, ReplyStrategy],
+        context: StrategyContext = StrategyContext(),
+    ) -> None:
+        super().__init__(inner.pid)
+        self.inner = inner
+        self.strategy = (
+            get_strategy(strategy) if isinstance(strategy, str) else strategy
+        )
+        self.context = context
+
+    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
+        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
+            corrupted = self.strategy.corrupt(reply, self.context)
+            if corrupted is DROP:
+                continue
+            ctx.send(dst, reply if corrupted is None else corrupted)
+
+    def describe_state(self) -> str:
+        return (
+            f"{type(self).__name__}({self.pid}, "
+            f"strategy={self.strategy.name})"
+        )
+
+
+class StaleReplayServer(StrategyServer):
     """Wraps an honest server but always replies with the initial tag.
 
     The initial tag is validly "signed" (it is the unsigned timestamp 0
@@ -91,22 +144,10 @@ class StaleReplayServer(ByzantineServer):
     """
 
     def __init__(self, inner: Process) -> None:
-        super().__init__(inner.pid)
-        self.inner = inner
-
-    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
-        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
-            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
-                reply = type(reply)(
-                    op_id=reply.op_id,
-                    tag=INITIAL_SIGNED_TAG,
-                    seen=reply.seen,
-                    r_counter=reply.r_counter,
-                )
-            ctx.send(dst, reply)
+        super().__init__(inner, "stale")
 
 
-class SeenInflaterServer(ByzantineServer):
+class SeenInflaterServer(StrategyServer):
     """Claims every client has seen its tag.
 
     This is the most interesting attack on Figure 5: the ``seen`` sets
@@ -117,23 +158,14 @@ class SeenInflaterServer(ByzantineServer):
     """
 
     def __init__(self, inner: Process, all_clients: Iterable[ProcessId]) -> None:
-        super().__init__(inner.pid)
-        self.inner = inner
-        self.claimed: FrozenSet[ProcessId] = frozenset(all_clients)
-
-    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
-        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
-            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
-                reply = type(reply)(
-                    op_id=reply.op_id,
-                    tag=reply.tag,
-                    seen=self.claimed,
-                    r_counter=reply.r_counter,
-                )
-            ctx.send(dst, reply)
+        clients: FrozenSet[ProcessId] = frozenset(all_clients)
+        super().__init__(
+            inner, "inflate-seen", StrategyContext(clients=tuple(sorted(clients)))
+        )
+        self.claimed = clients
 
 
-class ForgedTagServer(ByzantineServer):
+class ForgedTagServer(StrategyServer):
     """Tries to fabricate a future timestamp with a forged signature."""
 
     def __init__(
@@ -143,25 +175,13 @@ class ForgedTagServer(ByzantineServer):
         writer: ProcessId,
         forged_ts: int = 1_000_000,
     ) -> None:
-        super().__init__(inner.pid)
-        self.inner = inner
-        self.forged_tag = SignedValueTag(
-            ts=forged_ts,
-            value="forged-value",
-            prev_value="forged-prev",
-            signed=authority.forge(writer, (forged_ts, "forged-value", "forged-prev")),
+        super().__init__(
+            inner,
+            "forge",
+            StrategyContext(
+                authority=authority, writer=writer, forged_ts=forged_ts
+            ),
         )
-
-    def on_message(self, payload: Any, src: ProcessId, ctx: Context) -> None:
-        for dst, reply in run_captured(self.inner, payload, src, ctx.now):
-            if isinstance(reply, (msg.FastReadAck, msg.FastWriteAck)):
-                reply = type(reply)(
-                    op_id=reply.op_id,
-                    tag=self.forged_tag,
-                    seen=reply.seen,
-                    r_counter=reply.r_counter,
-                )
-            ctx.send(dst, reply)
 
 
 class MemoryWipeServer(ByzantineServer):

@@ -21,6 +21,19 @@ The read counters (line 26) are the fourth component; their role is
 ruled out only by the full case analysis of Lemma 4 (case <5>2), and no
 short schedule exhibits a violation — the ablation tests document this
 by fuzzing ``NoCounterServer`` under message reordering.
+
+The Figure 5 (Byzantine) protocol has two further load-bearing defenses
+of its own, ablated here for the explorer's adversary to attack:
+
+* **Ack validation** (line 15's ``receivevalid``).  ``GullibleReader``
+  accepts any ack for the current read — forged signatures and stale
+  write-backs included — so a single ``forge`` lie hands it an
+  arbitrary value.
+* **The Byzantine predicate slack** (line 19's ``- (a-1)·b`` term).
+  ``CrashPredicateReader`` evaluates the crash-model predicate
+  (``b = 0``): it demands *more* evidence than available once ``b``
+  liars withhold theirs, returning ``maxTS - 1`` after a completed
+  write — the other direction of unsafety.
 """
 
 from __future__ import annotations
@@ -30,11 +43,14 @@ from typing import Any, Callable, Dict, List, Type
 
 from repro.registers import messages as msg
 from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.fast_byzantine import FastByzantineReader
+from repro.registers.fast_byzantine import build_cluster as build_byzantine_cluster
 from repro.registers.fast_crash import (
     FastCrashReader,
     FastCrashServer,
     FastCrashWriter,
 )
+from repro.registers.predicates import seen_predicate
 from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import ProcessId, client_index, reader, server, servers, writer
 from repro.sim.process import Context
@@ -119,6 +135,56 @@ class HastyWriter(FastCrashWriter):
         super().on_invoke(op, ctx)
         assert self._acks is not None
         self._acks.threshold = 1
+
+
+class GullibleReader(FastByzantineReader):
+    """Drops Figure 5's ``receivevalid`` filter (line 15).
+
+    Only the reply's attribution to the current read survives; the
+    signature check, the staleness floor and the seen-membership proof
+    are all skipped — so forged tags and stale replays enter the ack
+    set as if honest.
+    """
+
+    def _ack_valid(self, payload: msg.FastReadAck) -> bool:
+        return payload.r_counter == self.r_counter
+
+
+class CrashPredicateReader(FastByzantineReader):
+    """Evaluates the Figure 2 predicate, ignoring the ``b`` slack.
+
+    The crash predicate demands ``S - a·t`` messages where the
+    Byzantine one asks only ``S - a·t - (a-1)·b``: with ``b`` liars
+    suppressing their evidence the gullible direction is safe but this
+    one starves — the reader under-decides, returning ``maxTS - 1``
+    for reads that must return ``maxTS``.
+    """
+
+    def _decide(self, ctx: Context) -> None:
+        assert self._acks is not None
+        acks = self._acks.payloads()
+        max_ts = max(ack.tag.ts for ack in acks)
+        max_acks = [ack for ack in acks if ack.tag.ts == max_ts]
+        self.max_tag = max_acks[0].tag
+        ok = seen_predicate(
+            [ack.seen for ack in max_acks],
+            S=self.config.S,
+            t=self.config.t,
+            R=self.config.R,
+            b=0,  # BUG under test: no allowance for the b liars
+        )
+        if ok:
+            ctx.complete(self.max_tag.value)
+        else:
+            ctx.complete(self.max_tag.prev_value)
+
+
+def build_byzantine_ablated_cluster(
+    config: ClusterConfig,
+    reader_cls: Type[FastByzantineReader],
+) -> Cluster:
+    """A fast-byzantine cluster with the reader component replaced."""
+    return build_byzantine_cluster(config, enforce=False, reader_cls=reader_cls)
 
 
 def build_ablated_cluster(

@@ -224,8 +224,13 @@ def build_cluster(
     enforce: bool = True,
     authority: Optional[SignatureAuthority] = None,
     seed: int = 0,
+    reader_cls: type = FastByzantineReader,
 ) -> Cluster:
-    """Assemble a fast Byzantine cluster with a shared signature authority."""
+    """Assemble a fast Byzantine cluster with a shared signature authority.
+
+    ``reader_cls`` lets the ablation targets swap in deliberately
+    weakened readers while keeping servers and writer faithful.
+    """
     if enforce:
         problem = requirement(config)
         if problem is not None:
@@ -236,7 +241,7 @@ def build_cluster(
         FastByzantineServer(pid, config, authority) for pid in config.server_ids
     ]
     readers = [
-        FastByzantineReader(pid, config, authority) for pid in config.reader_ids
+        reader_cls(pid, config, authority) for pid in config.reader_ids
     ]
     writers = [
         FastByzantineWriter(pid, config, authority) for pid in config.writer_ids

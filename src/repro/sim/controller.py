@@ -156,6 +156,8 @@ class ScriptedExecution(RuntimeCore):
             elif kind == "drop":
                 network.dropped.pop()
                 network.transit.insert(entry[2], entry[1])
+            elif kind == "subst":
+                network.transit[entry[2]] = entry[1]
             elif kind == "ver":
                 self.state_version[entry[1]] = entry[2]
             elif kind == "respond":
@@ -232,6 +234,18 @@ class ScriptedExecution(RuntimeCore):
     def drop(self, env: Envelope) -> None:
         self.network.drop(env)
         self.trace.record(self._time, tr.DROP, env.dst, self._current_step, env=env)
+
+    def corrupt_reply(self, env: Envelope, payload: Any) -> Envelope:
+        """Adversary hook: swap a held envelope's payload in place.
+
+        This is how a Byzantine server's *content* choice enters a
+        scripted run: the honest automaton has already emitted its
+        reply into transit, and the adversary substitutes what actually
+        travels.  Returns the corrupted twin (fresh envelope identity,
+        same queue position); fully journaled, so undo-driven searches
+        rewind corruptions exactly like honest mutations.
+        """
+        return self.network.substitute(env, payload)
 
     # ------------------------------------------------------------------
     # higher-level schedule vocabulary (the proofs' language)

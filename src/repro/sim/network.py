@@ -189,6 +189,31 @@ class HeldNetwork:
             self.release(env)
         return len(batch)
 
+    def substitute(self, env: Envelope, payload) -> Envelope:
+        """Adversary hook: replace a held envelope with a corrupted twin.
+
+        The twin keeps the source, destination and send instant (the
+        corruption is invisible to the network) but carries the
+        adversary's payload and a fresh ``env_id``; it takes the
+        original's exact queue position so FIFO per-queue order is
+        undisturbed.  Journaled like every transit mutation, so the
+        incremental engine undoes a corruption exactly like an honest
+        one.
+        """
+        try:
+            index = self.transit.index(env)
+        except ValueError:
+            raise ScheduleError(
+                f"cannot corrupt {env.describe()}: not in transit"
+            ) from None
+        twin = Envelope(
+            src=env.src, dst=env.dst, payload=payload, send_time=env.send_time
+        )
+        self.transit[index] = twin
+        if self.journal is not None:
+            self.journal.append(("subst", env, index))
+        return twin
+
     def drop(self, env: Envelope) -> None:
         """Remove a held envelope without delivering it."""
         try:

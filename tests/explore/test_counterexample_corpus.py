@@ -27,7 +27,7 @@ def corpus_id(path):
 
 
 def test_corpus_is_not_empty():
-    assert len(CORPUS) >= 6
+    assert len(CORPUS) >= 7
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=corpus_id)
@@ -43,13 +43,25 @@ def test_counterexample_replays_byte_for_byte(path):
 
 @pytest.mark.parametrize("path", CORPUS, ids=corpus_id)
 def test_artifact_is_canonical_json(path):
-    """Files are exactly ``to_json()`` output (stable diffs, stable names)."""
+    """Files are exactly ``to_json()`` output (stable diffs, stable names).
+
+    Schema v2 round-trips v1 entries *unchanged*: the pre-adversary
+    corpus keeps its v1 format marker and payload shape byte-for-byte,
+    while adversary-bearing entries are v2.
+    """
     text = path.read_text()
     counterexample = Counterexample.from_json(text)
     assert text == counterexample.to_json() + "\n"
     payload = json.loads(text)
-    assert payload["format"] == "repro-counterexample/v1"
+    assert payload["format"] in Counterexample.FORMATS
     assert payload["verdict"]["ok"] is False
+    if counterexample.scenario.byzantine_budget:
+        assert payload["format"] == Counterexample.FORMAT_V2
+        assert payload["scenario"]["strategies"]
+    else:
+        # crash-only artifacts predate v2 and must stay v1 on disk
+        assert payload["format"] == Counterexample.FORMAT_V1
+        assert "byzantine_budget" not in payload["scenario"]
 
 
 def test_corpus_covers_thresholds_and_ablations():
@@ -65,6 +77,30 @@ def test_corpus_covers_thresholds_and_ablations():
     # the ROADMAP's hardest ablation target: needs three readers and
     # pre-polluted seen sets, reached by the incremental engine
     assert "fast-crash@no-seen-reset" in targets
+    # the Section 6 bound, re-derived by search once content choices
+    # exist (this PR's adversary layer)
+    assert "fast-byzantine" in targets
+
+
+def test_byzantine_entry_has_the_predicted_equivocation_shape():
+    """The Section 6 device, found by search: one server equivocates —
+    its honest-tag face completes the write, its stale face then hides
+    the write from the reader, who returns ⊥ after a completed
+    write(1)."""
+    path = next(p for p in CORPUS if p.stem.startswith("fast-byzantine"))
+    ce = Counterexample.from_json(path.read_text())
+    config = ce.scenario.config
+    # strictly beyond the Section 6 threshold: S <= (R+2)t + (R+1)b
+    assert config.S <= (config.R + 2) * config.t + (config.R + 1) * config.b
+    assert ce.scenario.byzantine_budget == 1
+    lies = [label for label in ce.schedule if label.startswith("lie:")]
+    liars = {label.rsplit(":", 1)[1] for label in lies}
+    assert lies and len(liars) == 1  # a single equivocating server
+    write = next(op for op in ce.history.operations if op.kind == "write")
+    read = next(op for op in ce.history.operations if op.kind == "read")
+    assert write.complete and write.value == 1
+    assert read.result == "⊥"
+    assert not ce.verdict.ok
 
 
 def test_no_seen_reset_entry_has_the_predicted_shape():

@@ -44,9 +44,26 @@ DIFFERENTIAL_CASES = [
     ("fast-crash@no-seen-reset", ClusterConfig(S=4, t=1, R=2), {}, 5),
     ("fast-crash@no-counter", ClusterConfig(S=4, t=1, R=1), {}, 5),
     ("fast-crash@hasty-writer", ClusterConfig(S=4, t=1, R=2), {}, 5),
+    # adversary content choices: the lie:… action space must stay
+    # engine-identical too
+    (
+        "fast-byzantine",
+        ClusterConfig(S=3, t=1, R=1, b=1),
+        {"byzantine_budget": 1},
+        4,
+    ),
+    (
+        "fast-byzantine@gullible-reader",
+        ClusterConfig(S=4, t=1, R=1, b=1),
+        {"byzantine_budget": 1, "strategies": ("forge", "silent")},
+        4,
+    ),
 ]
 
-CASE_IDS = [case[0] for case in DIFFERENTIAL_CASES]
+CASE_IDS = [
+    case[0] + ("+lies" if case[2].get("byzantine_budget") else "")
+    for case in DIFFERENTIAL_CASES
+]
 
 
 def _scenario(target, config, kwargs) -> ExploreScenario:
@@ -134,6 +151,13 @@ SCENARIOS = st.sampled_from(
         _scenario("maxmin", ClusterConfig(S=3, t=1, R=1), {}),
         _scenario("naive-fast-mwmr", ClusterConfig(S=2, t=1, R=1, W=2), {}),
         _scenario("fast-byzantine", ClusterConfig(S=4, t=1, R=1, b=1), {}),
+        # the adversary's content choices ride the same snapshot/undo
+        # and fingerprint machinery
+        _scenario(
+            "fast-byzantine",
+            ClusterConfig(S=3, t=1, R=1, b=1),
+            {"byzantine_budget": 1},
+        ),
     ]
 )
 

@@ -2,10 +2,13 @@
 
 from repro.explore import (
     ExploreScenario,
+    FingerprintBloom,
+    SharedMemo,
     explore,
     explore_parallel,
     random_walks_parallel,
 )
+from repro.explore.explorer import _Memo
 from repro.explore.parallel import SHARD_TARGET, TransitionBudget, _plan_shards
 from repro.registers.base import ClusterConfig
 
@@ -111,6 +114,51 @@ class TestSharedBudget:
         )
         assert tight.complete and loose.complete
         assert tight.stats.to_dict() == loose.stats.to_dict()
+
+
+class TestCrossProcessMemo:
+    def test_deep_sharded_run_hits_the_shared_memo(self):
+        """Diamond states spanning shard boundaries resolve against the
+        probe-seeded bloom-fronted table: the stat proves it."""
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        result = explore_parallel(scenario, depth=12, parallel=2)
+        assert result.complete
+        assert not result.found_violation
+        assert result.stats.shared_memo_hits > 0
+
+    def test_shared_memo_does_not_depend_on_worker_count(self):
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        two = explore_parallel(scenario, depth=10, parallel=2)
+        four = explore_parallel(scenario, depth=10, parallel=4)
+        assert two.stats.to_dict() == four.stats.to_dict()
+
+    def test_memo_off_disables_the_probe_entirely(self):
+        scenario = ExploreScenario("fast-crash", ClusterConfig(S=4, t=1, R=1))
+        result = explore_parallel(scenario, depth=8, parallel=2, memoize=False)
+        assert result.stats.shared_memo_hits == 0
+        assert result.stats.memo_hits == 0
+
+    def test_bloom_membership_and_determinism(self):
+        bloom = FingerprintBloom.empty(64)
+        keys = [(("s1", i), ("transit", i % 3)) for i in range(40)]
+        for key in keys[:20]:
+            bloom.add(key)
+        assert all(key in bloom for key in keys[:20])
+        # false positives allowed but must be rare at this load factor
+        false_positives = sum(1 for key in keys[20:] if key in bloom)
+        assert false_positives <= 2
+
+    def test_shared_memo_selects_hot_entries(self):
+        memo = _Memo()
+        hot, cold = ("hot",), ("cold",)
+        memo.store(hot, frozenset(), 5, 7, 3)
+        memo.store(cold, frozenset(), 5, 1, 1)
+        assert memo.lookup(hot, frozenset(), 5) is not None  # records a hit
+        shared = SharedMemo.build(memo, max_entries=1)
+        assert shared.lookup(hot, frozenset({"x"}), 4) == (frozenset(), 5, 7, 3)
+        assert shared.lookup(cold, frozenset(), 5) is None
+        # stored-depth/sleep-subset soundness conditions still gate hits
+        assert shared.lookup(hot, frozenset(), 6) is None
 
 
 class TestRandomSharding:

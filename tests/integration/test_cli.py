@@ -277,3 +277,51 @@ class TestExplore:
     def test_missing_protocol_rejected(self, capsys):
         assert main(["explore", "--depth", "4"]) == 2
         assert "--protocol is required" in capsys.readouterr().err
+
+
+class TestExploreByzantine:
+    BEYOND_ARGS = [
+        "explore",
+        "--target", "fast-byzantine",
+        "--servers", "3", "--t", "1", "--readers", "1",
+        "--b", "1", "--byzantine", "1",
+        "--depth", "6",
+    ]
+
+    def test_beyond_threshold_finds_equivocation(self, capsys):
+        assert main(self.BEYOND_ARGS) == 1
+        out = capsys.readouterr().out
+        assert "byzantine budget 1" in out
+        assert "lie:" in out
+        assert "beyond the feasible region" in out
+
+    def test_restricted_menu_is_respected(self, capsys):
+        assert main(self.BEYOND_ARGS + ["--strategies", "stale"]) == 1
+        out = capsys.readouterr().out
+        assert "[stale]" in out
+        assert "lie:stale:" in out
+        assert "lie:inflate-seen:" not in out
+
+    def test_save_and_replay_v2_round_trip(self, capsys, tmp_path):
+        save_dir = tmp_path / "ces"
+        assert main(self.BEYOND_ARGS + ["--save", str(save_dir)]) == 1
+        capsys.readouterr()
+        files = sorted(save_dir.glob("fast-byzantine-*.json"))
+        assert files
+        assert '"repro-counterexample/v2"' in files[0].read_text()
+        assert main(["explore", "--replay", str(files[0])]) == 0
+        out = capsys.readouterr().out
+        assert "history_identical: True" in out
+
+    def test_byzantine_budget_beyond_b_rejected(self, capsys):
+        code = main(
+            ["explore", "--target", "fast-byzantine", "--servers", "3",
+             "--t", "1", "--readers", "1", "--byzantine", "1", "--depth", "4"]
+        )
+        assert code == 2
+        assert "exceeds the model's b" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected(self, capsys):
+        code = main(self.BEYOND_ARGS + ["--strategies", "gaslight"])
+        assert code == 2
+        assert "unknown reply strategy" in capsys.readouterr().err
