@@ -16,7 +16,13 @@ the executable lower bound produce a real violation.
 Run:  python examples/byzantine_audit.py
 """
 
-from repro import ClusterConfig, run_byzantine_lower_bound, run_workload
+from repro import (
+    ClosedLoopWorkload,
+    ClusterConfig,
+    UniformLatency,
+    run_byzantine_lower_bound,
+    run_workload,
+)
 from repro.analysis.tables import render_table
 from repro.faults.byzantine import (
     ForgedTagServer,
@@ -26,8 +32,6 @@ from repro.faults.byzantine import (
 )
 from repro.registers.fast_byzantine import FastByzantineServer
 from repro.sim.ids import reader, server, writer
-from repro.sim.latency import UniformLatency
-from repro.workloads import ClosedLoopWorkload
 
 # S > (R+2)t + (R+1)b = 4 + 3 = 7
 CONFIG = ClusterConfig(S=8, t=1, b=1, R=2)

@@ -9,10 +9,13 @@ finished in one communication round-trip.
 Run:  python examples/quickstart.py
 """
 
-from repro import ClusterConfig, run_workload
-from repro.analysis.metrics import latency_by_kind
-from repro.sim.latency import UniformLatency
-from repro.workloads import ClosedLoopWorkload
+from repro import (
+    ClosedLoopWorkload,
+    ClusterConfig,
+    UniformLatency,
+    latency_by_kind,
+    run_workload,
+)
 
 
 def main() -> None:

@@ -17,14 +17,20 @@ implies.
 Run:  python examples/regular_vs_atomic.py
 """
 
-from repro import BOTTOM, ClusterConfig
+from repro import (
+    BOTTOM,
+    ClusterConfig,
+    ScriptedExecution,
+    check_swmr_atomicity,
+    check_swmr_regularity,
+    fast_feasible,
+    max_readers,
+)
 from repro.analysis.tables import render_table
-from repro.bounds.feasibility import fast_feasible, max_readers, regular_fast_feasible
+from repro.bounds.feasibility import regular_fast_feasible
 from repro.registers.regular import build_cluster
-from repro.sim.controller import ScriptedExecution
 from repro.sim.ids import reader, server, writer
-from repro.spec.atomicity import check_swmr_atomicity
-from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
+from repro.spec.regularity import count_new_old_inversions
 
 
 def decision_table() -> None:

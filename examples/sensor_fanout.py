@@ -17,10 +17,17 @@ verifies every history with the atomicity checker.
 Run:  python examples/sensor_fanout.py
 """
 
-from repro import ClusterConfig, PROTOCOLS, max_readers, run_workload
-from repro.analysis.metrics import latency_by_kind, messages_per_operation
+from repro import (
+    PROTOCOLS,
+    ClosedLoopWorkload,
+    ClusterConfig,
+    LogNormalLatency,
+    latency_by_kind,
+    max_readers,
+    run_workload,
+)
+from repro.analysis.metrics import messages_per_operation
 from repro.analysis.tables import render_table
-from repro.sim.latency import LogNormalLatency
 from repro.workloads import ClosedLoopWorkload
 
 SERVERS = 10

@@ -26,6 +26,23 @@ Quickstart::
     result = run_workload("fast-crash", config)
     assert result.check_atomic()
     assert result.check_fast()
+
+Stable surface
+--------------
+
+Everything exported here (``__all__``) is the package's public API:
+protocol lookup (:func:`get_protocol`), the runtime seam
+(:class:`Runtime` and its implementations :class:`Simulation` /
+:class:`ScriptedExecution`), experiment entry points
+(:func:`run_workload`, :func:`run_scenario`), history judgement
+(:func:`check_history`, :func:`validate_history`), latency models and
+the bounds calculators.  Importing from submodules
+(``repro.sim.latency``, ``repro.spec.online``, ...) still works but is
+**deprecated for downstream code** — deep paths may move between
+releases; the package-level names will not.  The networked runtime
+lives in :mod:`repro.net` and is imported explicitly
+(``from repro.net import run_net_workload``) so that plain simulation
+users never pay for the socket stack.
 """
 
 from repro.bounds import (
@@ -47,13 +64,23 @@ from repro.errors import (
     SimulationError,
     SpecificationError,
 )
+from repro.analysis.metrics import latency_by_kind
 from repro.registers import PROTOCOLS, ClusterConfig, get_protocol
-from repro.sim import ScriptedExecution, Simulation
+from repro.runtime import Runtime
+from repro.sim import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    ScriptedExecution,
+    Simulation,
+    UniformLatency,
+)
 from repro.spec import (
     BOTTOM,
     History,
     HistoryValidator,
     check_all_fast,
+    check_history,
     check_linearizable,
     check_swmr_atomicity,
     check_swmr_regularity,
@@ -61,27 +88,43 @@ from repro.spec import (
     validate_history,
 )
 from repro.version import __version__
-from repro.workloads import ClosedLoopWorkload, RunResult, run_workload
+from repro.workloads import (
+    SCENARIOS,
+    ClosedLoopWorkload,
+    RunResult,
+    Scenario,
+    get_scenario,
+    run_scenario,
+    run_workload,
+)
 
 __all__ = [
     "BOTTOM",
     "ClosedLoopWorkload",
     "ClusterConfig",
     "ConfigurationError",
+    "ConstantLatency",
     "History",
     "HistoryValidator",
     "InfeasibleConstructionError",
+    "LatencyModel",
+    "LogNormalLatency",
     "PROTOCOLS",
     "ProtocolError",
     "ReproError",
     "RunResult",
+    "Runtime",
+    "SCENARIOS",
+    "Scenario",
     "ScheduleError",
     "ScriptedExecution",
     "SimulationError",
     "Simulation",
     "SpecificationError",
+    "UniformLatency",
     "__version__",
     "check_all_fast",
+    "check_history",
     "check_linearizable",
     "check_swmr_atomicity",
     "check_swmr_regularity",
@@ -89,12 +132,15 @@ __all__ = [
     "fast_feasible",
     "fast_read_possible",
     "get_protocol",
+    "get_scenario",
+    "latency_by_kind",
     "max_readers",
     "min_servers",
     "quiescent_segments",
     "run_byzantine_lower_bound",
     "run_crash_lower_bound",
     "run_mwmr_impossibility",
+    "run_scenario",
     "run_workload",
     "validate_history",
 ]

@@ -115,6 +115,111 @@ def messages_per_operation(total_messages: int, history: History) -> float:
     return total_messages / complete
 
 
+class LatencyHistogram:
+    """Log-bucketed latency histogram with quantile estimation.
+
+    Designed for the networked load harness: shards accumulate counts
+    independently and the parent merges them, so the memory cost is a
+    fixed bucket array no matter how many million operations flow
+    through.  Buckets are geometric — ``RATIO``-spaced from
+    :data:`RESOLUTION` upward — so relative quantile error is bounded by
+    one bucket width (~9%) across the whole microsecond-to-minute range.
+    """
+
+    #: Lower edge of the first finite bucket (values below land in it).
+    RESOLUTION = 1e-6
+    #: Geometric spacing of bucket upper edges: 2 ** (1/8).
+    RATIO = 2.0 ** 0.125
+    BUCKETS = 256  # covers RESOLUTION * RATIO**256 ≈ 4.9e3 seconds
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.RESOLUTION:
+            return 0
+        index = int(math.log(value / self.RESOLUTION, self.RATIO)) + 1
+        return min(index, self.BUCKETS - 1)
+
+    def _upper_edge(self, index: int) -> float:
+        return self.RESOLUTION * self.RATIO**index
+
+    def add(self, value: float) -> None:
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Sequence[float]) -> "LatencyHistogram":
+        for value in values:
+            self.add(value)
+        return self
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencyHistogram":
+        return cls().extend(values)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        for index, n in enumerate(other.counts):
+            self.counts[index] += n
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Upper edge of the bucket holding the ``fraction`` rank.
+
+        Clamped to the observed maximum so outliers in the last bucket
+        report the true extreme rather than the bucket edge.
+        """
+        if not self.count:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        rank = max(1, math.ceil(fraction * self.count))
+        seen = 0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return min(self._upper_edge(index), self.maximum)
+        return self.maximum  # pragma: no cover - unreachable (counts sum)
+
+    def nonzero_buckets(self) -> List[tuple]:
+        """``(upper_edge_seconds, count)`` for every occupied bucket."""
+        return [
+            (self._upper_edge(index), n)
+            for index, n in enumerate(self.counts)
+            if n
+        ]
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                {"le": edge, "n": n} for edge, n in self.nonzero_buckets()
+            ],
+        }
+
+
 def merge_summaries(parts: Sequence[LatencySummary]) -> LatencySummary:
     """Combine per-run summaries into one aggregate.
 

@@ -86,6 +86,87 @@ def render_explore_stats(result) -> str:
     return "\n".join(lines)
 
 
+def format_seconds(value: float) -> str:
+    """Human latency: ``413µs``, ``1.24ms``, ``2.05s``."""
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.2f}s"
+
+
+def _ascii_histogram(hist, width: int = 40) -> str:
+    """Bars over the occupied latency buckets of a LatencyHistogram."""
+    buckets = hist.nonzero_buckets()
+    if not buckets:
+        return "  (no samples)"
+    peak = max(count for _, count in buckets)
+    lines = []
+    for edge, count in buckets:
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"  <= {format_seconds(edge):>8s}  {bar} {count}")
+    return "\n".join(lines)
+
+
+def render_load_report(report) -> str:
+    """Plain-text rendering of a :class:`repro.net.loadgen.LoadReport`.
+
+    One block per concern: configuration, throughput, the read/write
+    latency distributions (p50/p90/p99 straight off the mergeable
+    histograms), measured round counts with the fast-read fraction the
+    paper is about, and the correctness verdicts the merged history was
+    judged by — the networked service answers to the same checkers as
+    the simulator.
+    """
+    spec = report.spec
+    read, write = report.read_hist, report.write_hist
+    rounds = report.rounds_histogram()
+    lines = [
+        f"protocol      : {spec.protocol}  "
+        f"(S={len(spec.addresses)}, t={spec.t}, b={spec.b}, "
+        f"R={spec.readers}, W={spec.writers})",
+        f"load          : {report.clients} virtual clients on "
+        f"{spec.shards} shard(s), serializer={spec.serializer or 'json'}, "
+        f"seed={spec.seed}",
+        f"completed     : {report.ops_complete} ops in "
+        f"{report.duration:.2f}s ({report.throughput:.0f} ops/s), "
+        f"{report.ops_incomplete} incomplete, "
+        f"{report.dropped} dropped frames",
+    ]
+    for kind, hist in (("read", read), ("write", write)):
+        if hist.count:
+            lines.append(
+                f"{kind:5s} latency : p50={format_seconds(hist.quantile(0.50))} "
+                f"p90={format_seconds(hist.quantile(0.90))} "
+                f"p99={format_seconds(hist.quantile(0.99))} "
+                f"max={format_seconds(hist.maximum)} (n={hist.count})"
+            )
+    read_rounds = ", ".join(
+        f"{n} round(s): {count}" for n, count in sorted(rounds["read"].items())
+    )
+    lines.append(
+        f"read rounds   : {read_rounds or 'none measured'}  "
+        f"fast-read fraction={report.fast_read_fraction:.3f}"
+    )
+    verdicts = ", ".join(
+        f"{name}={'skipped' if ok is None else ('ok' if ok else 'VIOLATION')}"
+        for name, ok in sorted(report.verdicts.items())
+    )
+    lines.append(f"verdicts      : {verdicts}")
+    if report.sim_check is not None:
+        check = report.sim_check
+        lines.append(
+            "sim cross-chk : net read rounds "
+            f"{check['net_read_rounds']} vs sim {check['sim_read_rounds']} "
+            f"at R={check['sim_config']['R']}: "
+            f"{'agree' if check['agree'] else 'DISAGREE'}"
+        )
+    if read.count:
+        lines.append("read latency histogram:")
+        lines.append(_ascii_histogram(read))
+    return "\n".join(lines)
+
+
 def _section_explorer() -> Section:
     from repro.explore import ExploreScenario, explore
     from repro.registers.base import ClusterConfig as CC

@@ -59,6 +59,81 @@ LATENCIES = {
 }
 
 
+def add_cluster_args(
+    parser: argparse.ArgumentParser,
+    *,
+    servers: Optional[int] = 8,
+    t: Optional[int] = 1,
+    readers: Optional[int] = 3,
+    writers: Optional[int] = None,
+    b: Optional[int] = None,
+    seed: Optional[int] = 0,
+    protocol: Optional[str] = None,
+    any_protocol: bool = False,
+    protocol_aliases: tuple = (),
+    protocol_help: Optional[str] = None,
+    readers_aliases: tuple = (),
+) -> None:
+    """Declare the shared cluster flags on one subcommand parser.
+
+    Every subcommand that parameterises a cluster uses this one builder,
+    so ``--protocol/--servers/--readers/--t/--b/--seed`` spell, validate
+    and default consistently everywhere.  Passing ``None`` for a value
+    omits that flag (e.g. ``compare`` takes ``--protocols`` instead of a
+    single ``--protocol``); the non-``None`` value is the subcommand's
+    default.  ``any_protocol`` lifts the registry ``choices`` restriction
+    for surfaces that accept ablation targets (``explore``).
+    """
+    if protocol is not None or any_protocol:
+        kwargs = dict(
+            dest="protocol",
+            default=protocol,
+            help=protocol_help or "protocol name (see `repro protocols`)",
+        )
+        if not any_protocol:
+            kwargs["choices"] = sorted(PROTOCOLS)
+        parser.add_argument("--protocol", *protocol_aliases, **kwargs)
+    if servers is not None:
+        parser.add_argument(
+            "--servers", type=int, default=servers, help="server count S"
+        )
+    if t is not None:
+        parser.add_argument(
+            "--t", type=int, default=t, help="tolerated faulty servers t"
+        )
+    if readers is not None:
+        parser.add_argument(
+            "--readers",
+            *readers_aliases,
+            dest="readers",
+            type=int,
+            default=readers,
+            help="reader (virtual client) count R",
+        )
+    if writers is not None:
+        parser.add_argument(
+            "--writers", type=int, default=writers, help="writer count W"
+        )
+    if b is not None:
+        parser.add_argument(
+            "--b", type=int, default=b, help="Byzantine server count b (<= t)"
+        )
+    if seed is not None:
+        parser.add_argument("--seed", type=int, default=seed, help="root seed")
+
+
+def config_from_args(args: argparse.Namespace) -> ClusterConfig:
+    """Build the :class:`ClusterConfig` from flags declared by
+    :func:`add_cluster_args` (missing optional flags default sanely)."""
+    return ClusterConfig(
+        S=args.servers,
+        t=args.t,
+        R=args.readers,
+        W=getattr(args, "writers", 1),
+        b=getattr(args, "b", 0),
+    )
+
+
 def _cmd_protocols(args: argparse.Namespace) -> int:
     rows = [
         (
@@ -82,7 +157,7 @@ def _cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    config = ClusterConfig(S=args.servers, t=args.t, R=args.readers)
+    config = config_from_args(args)
     result = run_workload(
         protocol=args.protocol,
         config=config,
@@ -106,50 +181,31 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.spec.histories import History
-    from repro.spec.linearizability import (
-        check_linearizable,
-        check_mwmr_p1_p2,
-        find_linearization,
-    )
-    from repro.spec.online import validate_history
-    from repro.spec.regularity import count_new_old_inversions
+    from repro.spec.online import check_history
 
     with open(args.history, "r", encoding="utf-8") as handle:
         history = History.from_json(handle.read())
-    single_writer = history.single_writer()
+    report = check_history(history)
+    single_writer = report["single_writer"]
     print(
         f"{args.history}: {len(history)} operations "
         f"({len(history.writes)} writes, {len(history.reads)} reads, "
         f"{len(history.incomplete_operations)} incomplete), "
         f"{'single' if single_writer else 'multi'}-writer"
     )
-    validator = validate_history(history)
-    verdicts = [validator.atomic_verdict()]
-    cross_check_ok = True
-    if single_writer:
-        linearizable = check_linearizable(history)
-        verdicts.append(linearizable)
-        verdicts.append(validator.regular_verdict())
-        # Independent cross-check: the verdict above took the greedy
-        # single-writer fast path; the witness search always runs the
-        # general segmented search.  The two must agree.
-        witness = find_linearization(history)
-        cross_check_ok = (witness is not None) == linearizable.ok
-    else:
-        verdicts.append(check_mwmr_p1_p2(history))
-    for verdict in verdicts:
+    for verdict in report["verdicts"].values():
         print(verdict.describe())
     if single_writer:
-        agreement = "agrees" if cross_check_ok else "DISAGREES (checker bug!)"
+        agreement = (
+            "agrees" if report["cross_check_ok"] else "DISAGREES (checker bug!)"
+        )
         print(f"cross-check (general linearization search): {agreement}")
-        inversions, _ = count_new_old_inversions(history)
-        print(f"new/old inversions: {inversions}")
+        print(f"new/old inversions: {report['inversions']}")
     print(
         "fastness: skipped (requires a message trace; histories carry "
         "operations only)"
     )
-    ok = all(verdict.ok for verdict in verdicts) and cross_check_ok
-    return 0 if ok else 1
+    return 0 if report["ok"] else 1
 
 
 def _cmd_feasibility(args: argparse.Namespace) -> int:
@@ -212,7 +268,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         spec = PROTOCOLS[name]
         if spec.multi_writer:
             continue
-        config = ClusterConfig(S=args.servers, t=args.t, R=args.readers)
+        config = config_from_args(args)
         problem = spec.requirement(config)
         if problem is not None:
             rows.append((name, "-", "-", f"infeasible: {problem}"))
@@ -295,9 +351,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
 
     try:
-        config = ClusterConfig(
-            S=args.servers, t=args.t, R=args.readers, W=args.writers, b=args.b
-        )
+        config = config_from_args(args)
         scenario = ExploreScenario(
             target=target.name,
             config=config,
@@ -362,9 +416,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = ClusterConfig(
-        S=args.servers, t=args.t, R=args.readers, W=args.writers
-    )
+    config = config_from_args(args)
     specs = build_matrix(
         protocols=args.protocols,
         scenarios=args.scenarios,
@@ -397,6 +449,146 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if result.all_ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.net.server import NetServer, start_servers
+
+    config = config_from_args(args)
+
+    async def run() -> None:
+        if args.index is not None:
+            server = NetServer(
+                args.protocol,
+                config,
+                args.index,
+                host=args.host,
+                port=args.base_port,
+                seed=args.seed,
+                serializer=args.serializer,
+                enforce=not args.no_enforce,
+            )
+            await server.start()
+            servers = [server]
+        else:
+            servers = await start_servers(
+                args.protocol,
+                config,
+                host=args.host,
+                base_port=args.base_port,
+                seed=args.seed,
+                serializer=args.serializer,
+                enforce=not args.no_enforce,
+            )
+        for server in servers:
+            print(f"{server.pid} listening on {server.host}:{server.port}")
+        sys.stdout.flush()
+        print("serving until interrupted (Ctrl-C)", file=sys.stderr)
+        await asyncio.Event().wait()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _parse_addresses(text: str) -> List:
+    """``"h1:7001,h2:7002"`` -> ``[("h1", 7001), ("h2", 7002)]``."""
+    addresses = []
+    for part in text.split(","):
+        host, _, port = part.strip().rpartition(":")
+        if not host or not port.isdigit():
+            raise argparse.ArgumentTypeError(
+                f"bad address {part!r}; expected host:port[,host:port...]"
+            )
+        addresses.append((host, int(port)))
+    return addresses
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.net.harness import ServerCluster
+    from repro.net.loadgen import LoadSpec, run_load, sim_rounds_check
+    from repro.analysis.report import render_load_report
+
+    ops = args.ops
+    if ops is None and args.duration is None:
+        ops = 10  # default stop rule: a short fixed-ops run
+    cluster = None
+    try:
+        if args.connect:
+            addresses = args.connect
+        else:
+            spawn_config = ClusterConfig(
+                S=args.servers, t=args.t, R=args.readers, b=args.b
+            )
+            print(
+                f"spawning {args.servers} {args.protocol} server processes "
+                f"on {args.host}...",
+                file=sys.stderr,
+            )
+            cluster = ServerCluster.spawn(
+                args.protocol,
+                spawn_config,
+                host=args.host,
+                base_port=args.base_port,
+                seed=args.seed,
+                serializer=args.serializer,
+                enforce=False,
+            )
+            addresses = cluster.addresses
+        spec = LoadSpec(
+            protocol=args.protocol,
+            addresses=tuple(addresses),
+            t=args.t,
+            b=args.b,
+            readers=args.readers,
+            ops_per_client=ops,
+            duration=args.duration,
+            write_interval=args.write_interval,
+            shards=args.workers,
+            seed=args.seed,
+            serializer=args.serializer,
+            timeout=args.timeout,
+            ramp=args.ramp,
+        )
+        from repro.registers.registry import get_protocol
+
+        problem = get_protocol(args.protocol).requirement(spec.config)
+        if problem is not None:
+            print(
+                f"note: config is outside the protocol's fast-feasible "
+                f"region ({problem}); running anyway",
+                file=sys.stderr,
+            )
+        report = run_load(spec)
+        if args.sim_check:
+            report.sim_check = sim_rounds_check(spec, report)
+    except ReproError as exc:
+        print(f"load: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if cluster is not None:
+            cluster.stop()
+    print(render_load_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    ok = report.ok and (
+        report.sim_check is None or report.sim_check["agree"]
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -410,11 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     demo = sub.add_parser("demo", help="run a small end-to-end demo")
-    demo.add_argument("--protocol", default="fast-crash", choices=sorted(PROTOCOLS))
-    demo.add_argument("--servers", type=int, default=8)
-    demo.add_argument("--t", type=int, default=1)
-    demo.add_argument("--readers", type=int, default=3)
-    demo.add_argument("--seed", type=int, default=0)
+    add_cluster_args(demo, protocol="fast-crash")
     demo.add_argument(
         "--dump-history",
         metavar="FILE",
@@ -438,10 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lb = sub.add_parser("lower-bound", help="execute an impossibility construction")
     lb.add_argument("model", choices=["crash", "byzantine", "mwmr"])
-    lb.add_argument("--servers", type=int, default=4)
-    lb.add_argument("--t", type=int, default=1)
-    lb.add_argument("--b", type=int, default=1)
-    lb.add_argument("--readers", type=int, default=2)
+    add_cluster_args(lb, servers=4, readers=2, b=1, seed=None)
     lb.set_defaults(fn=_cmd_lower_bound)
 
     sub.add_parser(
@@ -453,18 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute an impossibility proof's indistinguishability chain",
     )
     chain.add_argument("model", choices=["crash", "byzantine"])
-    chain.add_argument("--servers", type=int, default=4)
-    chain.add_argument("--t", type=int, default=1)
-    chain.add_argument("--b", type=int, default=1)
-    chain.add_argument("--readers", type=int, default=2)
+    add_cluster_args(chain, servers=4, readers=2, b=1, seed=None)
     chain.set_defaults(fn=_cmd_chain)
 
     cmp_ = sub.add_parser("compare", help="compare protocols on one workload")
-    cmp_.add_argument("--servers", type=int, default=9)
-    cmp_.add_argument("--t", type=int, default=1)
-    cmp_.add_argument("--readers", type=int, default=3)
+    add_cluster_args(cmp_, servers=9)
     cmp_.add_argument("--ops", type=int, default=10)
-    cmp_.add_argument("--seed", type=int, default=0)
     cmp_.add_argument(
         "--protocols",
         nargs="+",
@@ -478,30 +657,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded model checking over message schedules, crash points "
         "and quorum choices (see also: explore --replay FILE)",
     )
-    xpl.add_argument(
-        "--protocol",
-        "--target",
-        dest="protocol",
-        default=None,
-        help="explore target: any registry protocol or an ablation such as "
-        "fast-crash@eager-reader or fast-byzantine@gullible-reader "
+    add_cluster_args(
+        xpl,
+        servers=4,
+        readers=1,
+        writers=1,
+        b=0,
+        seed=None,  # explore's --seed is random-mode specific (below)
+        any_protocol=True,
+        protocol_aliases=("--target",),
+        protocol_help="explore target: any registry protocol or an ablation "
+        "such as fast-crash@eager-reader or fast-byzantine@gullible-reader "
         "(underscores normalise to hyphens)",
     )
     xpl.add_argument(
         "--mode", default="exhaustive", choices=["exhaustive", "random"]
     )
     xpl.add_argument("--depth", type=int, default=8, help="max actions per schedule")
-    xpl.add_argument("--servers", type=int, default=4)
-    xpl.add_argument("--t", type=int, default=1)
-    xpl.add_argument("--readers", type=int, default=1)
-    xpl.add_argument("--writers", type=int, default=1)
     xpl.add_argument("--writes", type=int, default=1, help="writes per writer")
     xpl.add_argument("--reads", type=int, default=1, help="reads per reader")
     xpl.add_argument(
         "--crashes", type=int, default=0, help="server-crash budget (<= t)"
-    )
-    xpl.add_argument(
-        "--b", type=int, default=0, help="model's Byzantine server count b (<= t)"
     )
     xpl.add_argument(
         "--byzantine",
@@ -593,11 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["smoke", "write-storm", "reader-churn"],
         choices=sorted(SCENARIOS),
     )
-    swp.add_argument("--servers", type=int, default=8)
-    swp.add_argument("--t", type=int, default=1)
-    swp.add_argument("--readers", type=int, default=3)
-    swp.add_argument("--writers", type=int, default=1)
-    swp.add_argument("--seed", type=int, default=0, help="root seed of the matrix")
+    add_cluster_args(swp, writers=1)
     swp.add_argument("--seeds", type=int, default=4, help="seeds per combination")
     swp.add_argument(
         "--parallel", type=int, default=1, help="worker processes (1 = serial)"
@@ -613,6 +785,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument("--max-events", type=int, default=2_000_000)
     swp.set_defaults(fn=_cmd_sweep)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run register servers over real TCP sockets (asyncio runtime)",
+    )
+    add_cluster_args(srv, servers=5, t=0, readers=1, b=0, protocol="fast-crash")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--base-port",
+        type=int,
+        default=7400,
+        help="server s<i> listens on base-port + i - 1 (0 = ephemeral)",
+    )
+    srv.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="serve only server s<index> (default: all S in this process; "
+        "on multiple hosts run one `serve --index i` each)",
+    )
+    srv.add_argument(
+        "--serializer",
+        default=None,
+        help="wire serializer (json; msgpack when installed)",
+    )
+    srv.add_argument(
+        "--no-enforce",
+        action="store_true",
+        help="skip the protocol feasibility check (load tests exceed the "
+        "fast protocols' reader thresholds on purpose)",
+    )
+    srv.set_defaults(fn=_cmd_serve)
+
+    load = sub.add_parser(
+        "load",
+        help="drive virtual clients against a networked cluster and "
+        "report latency/fastness/verdicts",
+    )
+    add_cluster_args(
+        load,
+        servers=5,
+        t=0,
+        readers=1000,
+        b=0,
+        protocol="regular-fast",
+        readers_aliases=("--clients",),
+    )
+    load.add_argument(
+        "--connect",
+        type=_parse_addresses,
+        default=None,
+        metavar="HOST:PORT,...",
+        help="use an already-running cluster (s1..sS in order); default is "
+        "to spawn --servers local server processes for the run",
+    )
+    load.add_argument("--host", default="127.0.0.1", help="spawn-mode bind host")
+    load.add_argument(
+        "--base-port", type=int, default=0, help="spawn-mode base port (0 = ephemeral)"
+    )
+    load.add_argument(
+        "--ops", type=int, default=None, help="reads per virtual client"
+    )
+    load.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="run for this many seconds instead of (or on top of) --ops",
+    )
+    load.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="OS processes to shard the virtual clients across",
+    )
+    load.add_argument(
+        "--write-interval",
+        type=float,
+        default=0.25,
+        help="seconds between writes of the writer",
+    )
+    load.add_argument(
+        "--timeout", type=float, default=30.0, help="per-operation timeout"
+    )
+    load.add_argument(
+        "--ramp",
+        type=float,
+        default=None,
+        help="seconds over which client starts are spread (default: auto, "
+        "~2000 client starts/s)",
+    )
+    load.add_argument(
+        "--serializer",
+        default=None,
+        help="wire serializer (json; msgpack when installed)",
+    )
+    load.add_argument(
+        "--sim-check",
+        action="store_true",
+        help="cross-check measured round counts against a simulated run "
+        "of the same protocol at the same (S, t)",
+    )
+    load.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the full report as JSON (BENCH_net.json)",
+    )
+    load.set_defaults(fn=_cmd_load)
 
     return parser
 

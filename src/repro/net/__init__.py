@@ -1,0 +1,61 @@
+"""Networked runtime: the register protocols over real asyncio sockets.
+
+The package is the second full implementation of the
+:class:`repro.runtime.Runtime` seam (the simulator being the first).
+The *same* automaton classes from :mod:`repro.registers` run unmodified;
+what changes is the medium — length-prefixed frames on TCP instead of a
+virtual-time event queue.
+
+Modules:
+
+* :mod:`repro.net.codec` — wire framing (length prefix, JSON or the
+  optional msgpack serializer) over the versioned
+  ``to_wire``/``from_wire`` dicts of :mod:`repro.registers.messages`.
+* :mod:`repro.net.runtime` — :class:`AsyncRuntime`, the seam
+  implementation: monotonic clock, route-table delivery, client-phase
+  (round) accounting.
+* :mod:`repro.net.server` — one server automaton behind one listening
+  socket, connections as asyncio protocols.
+* :mod:`repro.net.client` — :class:`ClientPool`, multiplexing many
+  virtual client automata over ``S`` connections.
+* :mod:`repro.net.loadgen` — the sharded load generator and its merged,
+  verdict-checked :class:`LoadReport`.
+* :mod:`repro.net.harness` — spawned server clusters (OS processes) and
+  the in-process parity-test runner.
+"""
+
+from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.client import ClientPool
+from repro.net.harness import NetRunResult, ServerCluster, run_net_workload
+from repro.net.loadgen import (
+    LoadReport,
+    LoadSpec,
+    run_load,
+    sim_rounds_check,
+)
+from repro.net.runtime import AsyncRuntime
+from repro.net.server import (
+    UNSUPPORTED_PROTOCOLS,
+    NetServer,
+    build_net_cluster,
+    start_servers,
+)
+
+__all__ = [
+    "AsyncRuntime",
+    "ClientPool",
+    "Codec",
+    "FrameBuffer",
+    "LoadReport",
+    "LoadSpec",
+    "NetRunResult",
+    "NetServer",
+    "ServerCluster",
+    "UNSUPPORTED_PROTOCOLS",
+    "build_net_cluster",
+    "get_codec",
+    "run_load",
+    "run_net_workload",
+    "sim_rounds_check",
+    "start_servers",
+]

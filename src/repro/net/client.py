@@ -1,0 +1,183 @@
+"""Client side of the networked register service.
+
+A :class:`ClientPool` multiplexes *many* client automata (readers and
+writers — the same classes the simulator runs) onto one asyncio event
+loop with exactly ``S`` outbound TCP connections, one per server.  This
+is what makes hundreds of thousands of virtual clients per OS process
+practical: a client automaton is just a small Python object plus a route
+table entry; the socket count stays constant.
+
+``run_op`` bridges the automaton world (synchronous steps, callbacks)
+into coroutine land: it invokes an operation on the pool's runtime and
+returns an awaitable resolved by the runtime's ``on_response`` hook when
+the automaton completes the operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ProtocolError, SimulationError
+from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.runtime import AsyncRuntime
+from repro.sim.ids import ProcessId
+from repro.sim.process import Process
+from repro.spec.histories import Operation
+
+
+class PoolConnection(asyncio.Protocol):
+    """One outbound connection to one server."""
+
+    def __init__(self, pool: "ClientPool", server_pid: ProcessId) -> None:
+        self.pool = pool
+        self.server_pid = server_pid
+        self.transport: Optional[asyncio.Transport] = None
+        self.buffer = FrameBuffer()
+        self.lost = asyncio.get_running_loop().create_future()
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            bodies = self.buffer.feed(data)
+        except ProtocolError:
+            self.close()
+            return
+        for body in bodies:
+            self.pool.handle_frame(body)
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        if not self.lost.done():
+            self.lost.set_result(exc)
+        self.pool.connection_down(self.server_pid)
+
+    def send_frame(self, frame: bytes) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.write(frame)
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+class ClientPool:
+    """Many client automata, one event loop, ``S`` server connections.
+
+    Args:
+        server_addrs: map of server pid to ``(host, port)``.
+        seed: runtime rng seed.
+        origin: shared monotonic origin for cross-process timestamps.
+        serializer: wire serializer (must match the servers').
+    """
+
+    def __init__(
+        self,
+        server_addrs: Dict[ProcessId, Tuple[str, int]],
+        seed: int = 0,
+        origin: Optional[float] = None,
+        serializer: Optional[str] = None,
+    ) -> None:
+        self.server_addrs = dict(server_addrs)
+        self.codec: Codec = get_codec(serializer)
+        self.runtime = AsyncRuntime(seed=seed, origin=origin)
+        self.runtime.on_response(self._resolve)
+        self._conns: Dict[ProcessId, PoolConnection] = {}
+        self._waiters: Dict[ProcessId, asyncio.Future] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def add_clients(self, automata: Iterable[Process]) -> None:
+        """Install client automata (readers/writers) into the runtime."""
+        self.runtime.add_processes(automata)
+
+    async def connect(self) -> None:
+        loop = asyncio.get_running_loop()
+        for pid, (host, port) in self.server_addrs.items():
+            try:
+                _, conn = await loop.create_connection(
+                    lambda pid=pid: PoolConnection(self, pid), host, port
+                )
+            except OSError:
+                # Crash model: an unreachable server is a crashed one.
+                # Leave its route unset so sends to it become drops; the
+                # automata's own quorum logic tolerates up to t of these.
+                continue
+            self._conns[pid] = conn
+            self.runtime.set_route(pid, self._route_for(conn))
+        if not self._conns:
+            raise SimulationError(
+                "could not reach any server: "
+                + ", ".join(
+                    f"{pid}@{host}:{port}"
+                    for pid, (host, port) in self.server_addrs.items()
+                )
+            )
+
+    async def close(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+        self._conns.clear()
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+
+    def _route_for(self, conn: PoolConnection):
+        codec = self.codec
+
+        def route(src: ProcessId, dst: ProcessId, payload: Any) -> None:
+            conn.send_frame(codec.encode_frame(src, dst, payload))
+
+        return route
+
+    def handle_frame(self, body: bytes) -> None:
+        try:
+            src, dst, payload = self.codec.decode_body(body)
+        except ProtocolError:
+            return  # garbage from a server: drop, keep the connection
+        self.runtime.deliver(src, dst, payload)
+
+    def connection_down(self, server_pid: ProcessId) -> None:
+        """A server link died: sends to it become drops (crash model)."""
+        self.runtime.clear_route(server_pid)
+        self._conns.pop(server_pid, None)
+
+    @property
+    def live_servers(self) -> int:
+        return len(self._conns)
+
+    # ------------------------------------------------------------------
+    # operations
+
+    def _resolve(self, op: Operation) -> None:
+        waiter = self._waiters.pop(op.proc, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(op)
+
+    async def run_op(
+        self,
+        pid: ProcessId,
+        kind: str,
+        value: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Operation:
+        """Invoke one operation on client ``pid`` and await its response.
+
+        The operation completes when enough servers replied for the
+        automaton to decide — the ``S - t`` quorum logic is the
+        automaton's own, identical to the simulated runs.
+        """
+        if pid in self._waiters:
+            raise SimulationError(f"{pid} already has an operation in flight")
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[pid] = waiter
+        try:
+            self.runtime.invoke(pid, kind, value)
+        except BaseException:
+            self._waiters.pop(pid, None)
+            raise
+        if timeout is None:
+            return await waiter
+        return await asyncio.wait_for(waiter, timeout)

@@ -1,0 +1,139 @@
+"""Length-prefixed wire codec for register-protocol messages.
+
+A frame on the socket is ``4-byte big-endian length || body``.  The body
+is a serialized dict ``{"s": src, "d": dst, "p": payload}`` where ``src``
+and ``dst`` are process-id strings (``"r12"``) and ``payload`` is the
+versioned dict produced by
+:meth:`repro.registers.messages.WireMessage.to_wire`.
+
+Two serializers are available:
+
+* ``json`` — always available (stdlib), compact separators, UTF-8;
+* ``msgpack`` — used only when the optional ``msgpack`` package is
+  importable; the container image does not bake it in, so JSON is the
+  default everywhere and the msgpack path is gated, never required.
+
+Both sides of a connection must use the same serializer (it is part of
+the cluster configuration, like the port map).  Frames larger than
+:data:`MAX_FRAME` indicate a desynchronised or hostile peer and raise.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.registers.messages import decode_message
+from repro.sim.ids import ProcessId
+from repro.spec.histories import parse_pid
+
+try:  # optional accelerator; never a hard dependency
+    import msgpack as _msgpack
+except ImportError:  # pragma: no cover - absent in the baked image
+    _msgpack = None
+
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame body.  Honest frames are tiny (a tag, a seen
+#: set); anything near this size means framing desync or garbage input.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def _json_dumps(obj: Any) -> bytes:
+    return json.dumps(
+        obj, separators=(",", ":"), ensure_ascii=False, sort_keys=True
+    ).encode("utf8")
+
+
+def _json_loads(body: bytes) -> Any:
+    return json.loads(body.decode("utf8"))
+
+
+SERIALIZERS: Dict[str, Tuple[Callable[[Any], bytes], Callable[[bytes], Any]]] = {
+    "json": (_json_dumps, _json_loads),
+}
+if _msgpack is not None:  # pragma: no cover - optional path
+    SERIALIZERS["msgpack"] = (
+        lambda obj: _msgpack.packb(obj, use_bin_type=True),
+        lambda body: _msgpack.unpackb(body, raw=False),
+    )
+
+
+class Codec:
+    """Frames ``(src, dst, message)`` triples onto and off a byte stream."""
+
+    def __init__(self, serializer: str = "json") -> None:
+        try:
+            self._dumps, self._loads = SERIALIZERS[serializer]
+        except KeyError:
+            available = ", ".join(sorted(SERIALIZERS))
+            raise ProtocolError(
+                f"unknown serializer {serializer!r}; available: {available} "
+                "(msgpack appears only when the optional package is installed)"
+            ) from None
+        self.serializer = serializer
+
+    def encode_frame(self, src: ProcessId, dst: ProcessId, payload: Any) -> bytes:
+        body = self._dumps({"s": str(src), "d": str(dst), "p": payload.to_wire()})
+        if len(body) > MAX_FRAME:
+            raise ProtocolError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
+        return HEADER.pack(len(body)) + body
+
+    def decode_body(self, body: bytes) -> Tuple[ProcessId, ProcessId, Any]:
+        try:
+            record = self._loads(body)
+            src = parse_pid(record["s"])
+            dst = parse_pid(record["d"])
+            payload = decode_message(record["p"])
+        except ProtocolError:
+            raise
+        except Exception as exc:  # malformed body: report, don't crash the loop
+            raise ProtocolError(f"undecodable frame body: {exc}") from exc
+        return src, dst, payload
+
+
+class FrameBuffer:
+    """Incremental length-prefix parser: feed bytes, get frame bodies.
+
+    One buffer per connection; ``feed`` returns zero or more complete
+    bodies and retains any partial tail for the next read.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        self._buffer.extend(data)
+        bodies: List[bytes] = []
+        view = self._buffer
+        offset = 0
+        while True:
+            if len(view) - offset < HEADER.size:
+                break
+            (length,) = HEADER.unpack_from(view, offset)
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds MAX_FRAME: "
+                    "stream desynchronised or hostile"
+                )
+            if len(view) - offset < HEADER.size + length:
+                break
+            start = offset + HEADER.size
+            bodies.append(bytes(view[start : start + length]))
+            offset = start + length
+        if offset:
+            del view[:offset]
+        return bodies
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def get_codec(serializer: Optional[str] = None) -> Codec:
+    """Codec for ``serializer`` (default json; msgpack when available)."""
+    return Codec(serializer or "json")

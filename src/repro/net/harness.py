@@ -1,0 +1,318 @@
+"""Deployment harnesses for the networked register service.
+
+Two levels:
+
+* :class:`ServerCluster` — spawn every server of a cluster as its own
+  OS process (the deployment the CLI's ``repro load --spawn`` and the
+  CI smoke job use).  Servers report their bound ports back over a
+  pipe, so ephemeral ports work; killing a member mid-run is the
+  crash-fault injection for the networked runtime.
+* :func:`run_net_workload` — everything (servers *and* clients) on one
+  in-process event loop.  This is the parity-suite workhorse: it runs a
+  deterministic closed-loop workload through real sockets and returns a
+  result shaped like the simulator's
+  :class:`~repro.workloads.runner.RunResult`, so tests can assert the
+  two runtimes reach the same verdicts on the same protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.net.client import ClientPool
+from repro.net.runtime import AsyncRuntime
+from repro.net.server import NetServer, build_net_cluster, start_servers
+from repro.registers.base import ClusterConfig
+from repro.sim.batch import default_mp_context
+from repro.sim.rng import derive_seed
+from repro.spec.histories import History, Verdict
+from repro.spec.online import HistoryValidator, validate_history
+
+
+def _server_entry(
+    protocol: str,
+    config: ClusterConfig,
+    index: int,
+    host: str,
+    port: int,
+    seed: int,
+    serializer: Optional[str],
+    enforce: bool,
+    port_pipe,
+) -> None:  # pragma: no cover - exercised in child processes
+    """Child-process entry point: run one server until terminated."""
+
+    async def main() -> None:
+        server = NetServer(
+            protocol,
+            config,
+            index,
+            host=host,
+            port=port,
+            seed=seed,
+            serializer=serializer,
+            enforce=enforce,
+        )
+        await server.start()
+        port_pipe.send(server.port)
+        port_pipe.close()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+
+
+class ServerCluster:
+    """All ``S`` servers of one deployment, each in its own OS process."""
+
+    def __init__(
+        self,
+        processes: List[multiprocessing.Process],
+        addresses: List[Tuple[str, int]],
+    ) -> None:
+        self.processes = processes
+        self.addresses = addresses
+
+    @classmethod
+    def spawn(
+        cls,
+        protocol: str,
+        config: ClusterConfig,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        seed: int = 0,
+        serializer: Optional[str] = None,
+        enforce: bool = True,
+        start_timeout: float = 20.0,
+        mp_context: Optional[str] = None,
+    ) -> "ServerCluster":
+        # Build once up front so a bad protocol/config fails in the
+        # parent with a real traceback, not S silent child deaths.
+        build_net_cluster(protocol, config, seed=seed, enforce=enforce)
+        ctx = multiprocessing.get_context(mp_context or default_mp_context())
+        processes: List[multiprocessing.Process] = []
+        pipes = []
+        for index in range(1, config.S + 1):
+            port = 0 if base_port == 0 else base_port + index - 1
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_server_entry,
+                args=(
+                    protocol, config, index, host, port,
+                    seed, serializer, enforce, send,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            send.close()
+            processes.append(proc)
+            pipes.append(recv)
+        addresses: List[Tuple[str, int]] = []
+        try:
+            for index, recv in enumerate(pipes, start=1):
+                if not recv.poll(start_timeout):
+                    raise SimulationError(
+                        f"server s{index} did not report a port within "
+                        f"{start_timeout}s"
+                    )
+                addresses.append((host, recv.recv()))
+        except BaseException:
+            for proc in processes:
+                proc.terminate()
+            raise
+        finally:
+            for recv in pipes:
+                recv.close()
+        return cls(processes, addresses)
+
+    def kill_server(self, index: int) -> None:
+        """Hard-kill server ``s<index>`` (1-based): the crash fault."""
+        proc = self.processes[index - 1]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=10.0)
+
+    def stop(self) -> None:
+        for proc in self.processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.processes:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=10.0)
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for proc in self.processes if proc.is_alive())
+
+    def __enter__(self) -> "ServerCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# in-process workload runner (parity tests)
+
+
+@dataclass
+class NetRunResult:
+    """Networked analogue of :class:`repro.workloads.runner.RunResult`."""
+
+    protocol: str
+    config: ClusterConfig
+    history: History
+    rounds_of: Dict[int, int]
+    runtime: AsyncRuntime
+    validator: Optional[HistoryValidator] = field(default=None, repr=False)
+
+    @property
+    def validation(self) -> HistoryValidator:
+        if self.validator is None:
+            self.validator = validate_history(
+                self.history, swmr=self.config.W == 1
+            )
+        return self.validator
+
+    def check_atomic(self) -> Verdict:
+        return self.validation.atomic_verdict()
+
+    def check_regular(self) -> Verdict:
+        return self.validation.regular_verdict()
+
+    def read_rounds(self) -> Dict[int, int]:
+        """Histogram of measured client phases over completed reads."""
+        out: Dict[int, int] = {}
+        for op in self.history.complete_operations:
+            if op.is_read and op.op_id in self.rounds_of:
+                rounds = self.rounds_of[op.op_id]
+                out[rounds] = out.get(rounds, 0) + 1
+        return out
+
+
+async def _drive_clients(
+    pool: ClientPool,
+    cluster,
+    reads_per_reader: int,
+    writes_per_writer: int,
+    op_timeout: float,
+    pace: float,
+) -> None:
+    async def reader_loop(pid) -> None:
+        for _ in range(reads_per_reader):
+            await pool.run_op(pid, "read", timeout=op_timeout)
+            await asyncio.sleep(pace)
+
+    async def writer_loop(pid, lane: int) -> None:
+        for step in range(1, writes_per_writer + 1):
+            await pool.run_op(
+                pid, "write", value=lane * 1000 + step, timeout=op_timeout
+            )
+            await asyncio.sleep(pace)
+
+    tasks = [
+        asyncio.ensure_future(reader_loop(reader.pid))
+        for reader in cluster.readers
+    ]
+    tasks.extend(
+        asyncio.ensure_future(writer_loop(writer.pid, lane))
+        for lane, writer in enumerate(cluster.writers, start=1)
+    )
+    await asyncio.gather(*tasks)
+
+
+async def _run_net_workload(
+    protocol: str,
+    config: ClusterConfig,
+    reads_per_reader: int,
+    writes_per_writer: int,
+    seed: int,
+    serializer: Optional[str],
+    enforce: bool,
+    crash: Optional[Tuple[int, int]],
+    op_timeout: float,
+    pace: float,
+) -> NetRunResult:
+    servers = await start_servers(
+        protocol, config, seed=seed, serializer=serializer, enforce=enforce
+    )
+    try:
+        addrs = {
+            pid: server.address
+            for pid, server in zip(config.server_ids, servers)
+        }
+        pool = ClientPool(
+            addrs,
+            seed=derive_seed(seed, "net-inproc") % 2**32,
+            serializer=serializer,
+        )
+        cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
+        pool.add_clients([*cluster.readers, *cluster.writers])
+        await pool.connect()
+        if crash is not None:
+            crash_index, after_responses = crash
+            loop = asyncio.get_running_loop()
+            state = {"seen": 0, "fired": False}
+
+            def maybe_crash(op) -> None:
+                state["seen"] += 1
+                if not state["fired"] and state["seen"] >= after_responses:
+                    state["fired"] = True
+                    # Closing the listener and every connection is the
+                    # in-process stand-in for a server crash: clients'
+                    # sends to it become drops, like the sim's model.
+                    loop.create_task(servers[crash_index - 1].stop())
+
+            pool.runtime.on_response(maybe_crash)
+        await _drive_clients(
+            pool, cluster, reads_per_reader, writes_per_writer,
+            op_timeout, pace,
+        )
+        await pool.close()
+        return NetRunResult(
+            protocol=protocol,
+            config=config,
+            history=pool.runtime.history,
+            rounds_of=dict(pool.runtime.rounds_of),
+            runtime=pool.runtime,
+        )
+    finally:
+        for server in servers:
+            await server.stop()
+
+
+def run_net_workload(
+    protocol: str,
+    config: ClusterConfig,
+    reads_per_reader: int = 3,
+    writes_per_writer: int = 2,
+    seed: int = 0,
+    serializer: Optional[str] = None,
+    enforce: bool = True,
+    crash: Optional[Tuple[int, int]] = None,
+    op_timeout: float = 15.0,
+    pace: float = 0.001,
+) -> NetRunResult:
+    """Run one closed-loop workload entirely over localhost sockets.
+
+    Servers, readers and writers all share the calling thread's event
+    loop; the automata are the identical classes the simulator runs.
+    ``crash=(i, n)`` stops server ``s<i>`` after the ``n``-th operation
+    response — the crash-mid-connection scenario (clients must still
+    terminate as long as ``S - t`` servers survive and ``i`` is within
+    the failure budget).
+    """
+    return asyncio.run(
+        _run_net_workload(
+            protocol, config, reads_per_reader, writes_per_writer,
+            seed, serializer, enforce, crash, op_timeout, pace,
+        )
+    )

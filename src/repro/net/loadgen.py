@@ -1,0 +1,461 @@
+"""Batched load generator for the networked register service.
+
+The generator multiplexes up to hundreds of thousands of *virtual
+clients* — real reader/writer automata, one coroutine each — onto a
+handful of OS processes.  Each worker process ("shard") runs one asyncio
+event loop with one :class:`~repro.net.client.ClientPool` holding its
+slice of the clients; shards fan out through the same deterministic
+:func:`~repro.sim.batch.map_parallel` backbone the sweep runner uses.
+
+Every shard ships back a compact operation log (tuples, not objects)
+plus per-operation round counts.  The parent merges the logs into one
+:class:`~repro.spec.histories.History` — timestamps are comparable
+because every shard measures against one shared ``CLOCK_MONOTONIC``
+origin — renumbers the operation ids, and judges the merged history with
+the *same* validator the simulator uses.  The networked service is held
+to the paper's correctness bar, not just a throughput number.
+
+The round counts come from the runtime's client-phase accounting
+(:class:`~repro.net.runtime.AsyncRuntime`), so the measured fast-read
+fraction can be cross-checked against the simulator's trace-based round
+histogram on a matching ``(protocol, S, t)`` configuration
+(:func:`sim_rounds_check`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import LatencyHistogram
+from repro.errors import ConfigurationError
+from repro.net.client import ClientPool
+from repro.net.server import build_net_cluster
+from repro.registers.base import ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.batch import map_parallel
+from repro.sim.rng import derive_seed, substream
+from repro.spec.histories import History, Operation, parse_pid
+from repro.spec.online import validate_history
+
+#: Hard cap on in-flight *invocations* per shard; one pending operation
+#: per client is the model's own cap, this bounds concurrent coroutines.
+DEFAULT_OP_TIMEOUT = 30.0
+
+#: Target client-start rate (clients/s) for the automatic ramp: spreads
+#: a huge fleet's first operations instead of one thundering herd.
+RAMP_RATE = 2000.0
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load-test recipe: cluster shape, client counts, stop rule.
+
+    Args:
+        protocol: registry name (must be supported by the net topology).
+        addresses: ``[(host, port), ...]`` for servers ``s1..sS`` in
+            order; ``S`` is inferred from its length.
+        t: tolerated server failures (drives the automata's quorum).
+        b: Byzantine budget (signature-bearing protocols only).
+        readers: number of virtual reader clients.
+        writers: number of writer clients (1 for SWMR protocols).
+        ops_per_client: reads each reader performs (stop rule A).
+        duration: wall-clock seconds to run (stop rule B).  With both
+            set, whichever limit is reached first stops each client.
+        write_interval: seconds between writes of each writer.
+        shards: worker OS processes to fan the clients across.
+        seed: root seed (client jitter, signature authority).
+        serializer: wire serializer name shared with the servers.
+        timeout: per-operation response timeout in seconds.
+        ramp: seconds over which client starts are jittered.  ``None``
+            picks automatically: enough to keep the start storm near
+            :data:`RAMP_RATE` clients/s, so a hundred-thousand-client
+            run does not enqueue every first operation at once.
+    """
+
+    protocol: str
+    addresses: Tuple[Tuple[str, int], ...]
+    t: int = 0
+    b: int = 0
+    readers: int = 1
+    writers: int = 1
+    ops_per_client: Optional[int] = 10
+    duration: Optional[float] = None
+    write_interval: float = 0.25
+    shards: int = 1
+    seed: int = 0
+    serializer: Optional[str] = None
+    timeout: float = DEFAULT_OP_TIMEOUT
+    ramp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ConfigurationError("need at least one server address")
+        if self.ops_per_client is None and self.duration is None:
+            raise ConfigurationError(
+                "need a stop rule: ops_per_client, duration, or both"
+            )
+        if self.readers < 1:
+            raise ConfigurationError("need at least one virtual reader")
+
+    @property
+    def config(self) -> ClusterConfig:
+        return ClusterConfig(
+            S=len(self.addresses),
+            t=self.t,
+            R=self.readers,
+            W=self.writers,
+            b=self.b,
+        )
+
+    @property
+    def start_ramp(self) -> float:
+        """Window over which client start times are spread."""
+        if self.ramp is not None:
+            return self.ramp
+        auto = max(0.5, self.readers / RAMP_RATE)
+        if self.duration is not None:
+            auto = min(auto, self.duration / 2)
+        return auto
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of a :class:`LoadSpec` (must pickle)."""
+
+    load: LoadSpec
+    index: int
+    origin: float
+
+
+async def _drive_reader(
+    pool: ClientPool, pid, spec: LoadSpec, deadline: Optional[float], rng
+) -> List[int]:
+    """One virtual client: a paced loop of read operations.
+
+    Returns the op ids (shard-local) of the operations it completed.
+    """
+    done: List[int] = []
+    # Jittered start so a shard's clients don't fire as one thundering
+    # herd into freshly opened sockets.
+    await asyncio.sleep(rng.uniform(0.0, spec.start_ramp))
+    ops = 0
+    while True:
+        if spec.ops_per_client is not None and ops >= spec.ops_per_client:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        try:
+            op = await pool.run_op(pid, "read", timeout=spec.timeout)
+        except asyncio.TimeoutError:
+            break  # leave the op incomplete; the merged history shows it
+        done.append(op.op_id)
+        ops += 1
+    return done
+
+
+async def _drive_writer(
+    pool: ClientPool, pid, spec: LoadSpec, deadline: Optional[float], rng,
+    stop: asyncio.Event,
+) -> List[int]:
+    """The writer: periodic writes of increasing values until told to stop."""
+    done: List[int] = []
+    value = 0
+    writes_cap = spec.ops_per_client
+    while not stop.is_set():
+        if writes_cap is not None and value >= writes_cap:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        value += 1
+        try:
+            op = await pool.run_op(pid, "write", value=value, timeout=spec.timeout)
+        except asyncio.TimeoutError:
+            break
+        done.append(op.op_id)
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=spec.write_interval)
+        except asyncio.TimeoutError:
+            pass
+    return done
+
+
+async def _shard_main(shard: ShardSpec) -> Dict[str, Any]:
+    spec = shard.load
+    config = spec.config
+    cluster = build_net_cluster(
+        spec.protocol, config, seed=spec.seed, enforce=False
+    )
+    server_addrs = dict(zip(config.server_ids, spec.addresses))
+    pool = ClientPool(
+        server_addrs,
+        seed=derive_seed(spec.seed, "net-shard", shard.index) % 2**32,
+        origin=shard.origin,
+        serializer=spec.serializer,
+    )
+    readers = cluster.readers[shard.index :: spec.shards]
+    writers = cluster.writers if shard.index == 0 else []
+    pool.add_clients([*readers, *writers])
+    await pool.connect()
+    rng = substream(spec.seed, "net-jitter", shard.index)
+    deadline = (
+        time.monotonic() + spec.duration if spec.duration is not None else None
+    )
+    stop_writer = asyncio.Event()
+    writer_tasks = [
+        asyncio.ensure_future(
+            _drive_writer(pool, w.pid, spec, deadline, rng, stop_writer)
+        )
+        for w in writers
+    ]
+    reader_tasks = [
+        asyncio.ensure_future(_drive_reader(pool, r.pid, spec, deadline, rng))
+        for r in readers
+    ]
+    await asyncio.gather(*reader_tasks)
+    stop_writer.set()
+    await asyncio.gather(*writer_tasks)
+    await pool.close()
+
+    runtime = pool.runtime
+    ops = [
+        (
+            str(op.proc),
+            op.kind,
+            op.value,
+            op.result,
+            op.invoked_at,
+            op.responded_at,
+            runtime.rounds_of.get(op.op_id),
+        )
+        for op in runtime.history
+    ]
+    return {
+        "shard": shard.index,
+        "clients": len(readers) + len(writers),
+        "ops": ops,
+        "dropped": runtime.dropped_unroutable,
+        "live_servers": pool.live_servers,
+    }
+
+
+def execute_shard(shard: ShardSpec) -> Dict[str, Any]:
+    """Worker entry point: run one shard's event loop to completion."""
+    return asyncio.run(_shard_main(shard))
+
+
+@dataclass
+class LoadReport:
+    """Merged outcome of one networked load run."""
+
+    spec: LoadSpec
+    history: History
+    rounds_of: Dict[int, int]
+    read_hist: LatencyHistogram
+    write_hist: LatencyHistogram
+    clients: int
+    duration: float
+    dropped: int
+    verdicts: Dict[str, Optional[bool]] = field(default_factory=dict)
+    sim_check: Optional[Dict[str, Any]] = None
+
+    @property
+    def ops_complete(self) -> int:
+        return len(self.history.complete_operations)
+
+    @property
+    def ops_incomplete(self) -> int:
+        return len(self.history.incomplete_operations)
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.ops_complete / self.duration
+
+    @property
+    def fast_read_fraction(self) -> float:
+        """Fraction of completed reads that took exactly one phase."""
+        reads = [
+            op for op in self.history.complete_operations if op.is_read
+        ]
+        if not reads:
+            return 0.0
+        fast = sum(1 for op in reads if self.rounds_of.get(op.op_id) == 1)
+        return fast / len(reads)
+
+    def rounds_histogram(self) -> Dict[str, Dict[int, int]]:
+        out: Dict[str, Dict[int, int]] = {"read": {}, "write": {}}
+        for op in self.history.complete_operations:
+            rounds = self.rounds_of.get(op.op_id)
+            if rounds is None:
+                continue
+            bucket = out[op.kind]
+            bucket[rounds] = bucket.get(rounds, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """No verdict the protocol promises came back violated."""
+        return all(v is not False for v in self.verdicts.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        spec = self.spec
+        return {
+            "format": "repro-load-report/v1",
+            "protocol": spec.protocol,
+            "config": {
+                "S": len(spec.addresses),
+                "t": spec.t,
+                "b": spec.b,
+                "readers": spec.readers,
+                "writers": spec.writers,
+            },
+            "shards": spec.shards,
+            "seed": spec.seed,
+            "serializer": spec.serializer or "json",
+            "clients": self.clients,
+            "duration_s": self.duration,
+            "ops_complete": self.ops_complete,
+            "ops_incomplete": self.ops_incomplete,
+            "throughput_ops_s": self.throughput,
+            "dropped_frames": self.dropped,
+            "read_latency": self.read_hist.to_dict(),
+            "write_latency": self.write_hist.to_dict(),
+            "fast_read_fraction": self.fast_read_fraction,
+            "rounds": {
+                kind: {str(k): v for k, v in sorted(hist.items())}
+                for kind, hist in self.rounds_histogram().items()
+            },
+            "verdicts": self.verdicts,
+            "sim_check": self.sim_check,
+        }
+
+
+def merge_shard_results(
+    spec: LoadSpec, results: List[Dict[str, Any]]
+) -> LoadReport:
+    """Fuse shard operation logs into one judged :class:`LoadReport`."""
+    rows: List[Tuple] = []
+    clients = 0
+    dropped = 0
+    for result in results:
+        rows.extend(result["ops"])
+        clients += result["clients"]
+        dropped += result["dropped"]
+    # One global invocation order; ties broken by process name so the
+    # merge is deterministic for identical inputs.
+    rows.sort(key=lambda row: (row[4], row[0]))
+    operations = []
+    rounds_of: Dict[int, int] = {}
+    read_hist, write_hist = LatencyHistogram(), LatencyHistogram()
+    for op_id, row in enumerate(rows, start=1):
+        proc, kind, value, result, invoked_at, responded_at, rounds = row
+        op = Operation(
+            op_id=op_id,
+            proc=parse_pid(proc),
+            kind=kind,
+            value=value,
+            invoked_at=invoked_at,
+        )
+        op.result = result
+        op.responded_at = responded_at
+        operations.append(op)
+        if rounds is not None:
+            rounds_of[op_id] = rounds
+        if responded_at is not None:
+            latency = responded_at - invoked_at
+            (read_hist if kind == "read" else write_hist).add(latency)
+    history = History.from_operations(operations)
+    complete = history.complete_operations
+    if complete:
+        duration = max(op.responded_at for op in complete) - min(
+            op.invoked_at for op in complete
+        )
+    else:
+        duration = 0.0
+    report = LoadReport(
+        spec=spec,
+        history=history,
+        rounds_of=rounds_of,
+        read_hist=read_hist,
+        write_hist=write_hist,
+        clients=clients,
+        duration=duration,
+        dropped=dropped,
+    )
+    proto = get_protocol(spec.protocol)
+    validator = validate_history(history, swmr=spec.writers <= 1)
+    report.verdicts["regular"] = (
+        validator.regular_verdict().ok if spec.writers <= 1 else None
+    )
+    # Only demand atomicity from protocols that promise it; regular-fast
+    # deliberately is not atomic (Section 8).
+    report.verdicts["atomic"] = (
+        validator.atomic_verdict().ok if proto.atomic else None
+    )
+    return report
+
+
+def run_load(spec: LoadSpec, mp_context: Optional[str] = None) -> LoadReport:
+    """Run one load test: fan shards out, merge logs, judge the history."""
+    origin = time.monotonic()
+    shards = [
+        ShardSpec(load=spec, index=index, origin=origin)
+        for index in range(max(1, spec.shards))
+        # A shard with no readers (more shards than clients) still runs:
+        # shard 0 may carry only the writer.
+    ]
+    results, _ = map_parallel(
+        execute_shard, shards, parallel=spec.shards, mp_context=mp_context
+    )
+    return merge_shard_results(spec, results)
+
+
+# ----------------------------------------------------------------------
+# sim cross-check
+
+
+def sim_rounds_check(
+    spec: LoadSpec, report: LoadReport, sim_readers: int = 8
+) -> Dict[str, Any]:
+    """Cross-check measured round counts against the simulator.
+
+    Runs the same protocol at the same ``(S, t)`` through the simulated
+    runtime (capping R — the sim needs minutes for 100k readers, and the
+    round *structure* does not depend on R) and compares the support of
+    the round-count histograms: every phase count observed over sockets
+    must be a round count the simulator also produces, and vice versa
+    for reads (the paper's claims are about reads).
+    """
+    from repro.workloads import ClosedLoopWorkload, run_workload
+
+    config = spec.config
+    sim_config = ClusterConfig(
+        S=config.S,
+        t=config.t,
+        R=min(sim_readers, config.R),
+        W=config.W,
+        b=config.b,
+    )
+    result = run_workload(
+        spec.protocol,
+        sim_config,
+        workload=ClosedLoopWorkload(reads_per_reader=6, writes_per_writer=3),
+        seed=spec.seed,
+        enforce=False,
+    )
+    sim_hist = result.validation.rounds_histogram()
+    net_hist = report.rounds_histogram()
+    sim_read = set(sim_hist.get("read", {}))
+    net_read = set(net_hist.get("read", {}))
+    agree = net_read == sim_read or (not net_read)
+    return {
+        "sim_config": {"S": sim_config.S, "t": sim_config.t, "R": sim_config.R},
+        "sim_read_rounds": sorted(sim_read),
+        "net_read_rounds": sorted(net_read),
+        "expected_read_rounds": get_protocol(spec.protocol).read_rounds,
+        "agree": agree,
+    }

@@ -1,0 +1,229 @@
+"""Register server over a TCP socket.
+
+One :class:`NetServer` hosts exactly one server automaton (``s<i>`` of a
+cluster) behind one listening socket.  The automaton is the *same class*
+that runs in the simulator — :class:`~repro.registers.base.StorageServer`
+or a protocol-specific server — installed into an
+:class:`~repro.net.runtime.AsyncRuntime` whose routes point back out of
+the client connections.
+
+Connection handling is a plain :class:`asyncio.Protocol` (no streams):
+``data_received`` feeds a :class:`~repro.net.codec.FrameBuffer`, each
+complete frame is decoded and dispatched to the automaton, and replies
+the automaton emits to a client pid are framed onto whichever connection
+last spoke for that pid.  A connection that sends garbage is closed; the
+automaton and other connections are unaffected.
+
+The max-min protocol needs server-to-server gossip links, which this v1
+topology (clients dial servers; servers never dial) does not provide;
+:func:`build_net_server` rejects it up front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.runtime import AsyncRuntime
+from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.registry import get_protocol
+from repro.sim.ids import ProcessId
+
+#: Protocols whose servers message other servers; unreachable over the
+#: client-dials-server topology of net v1.
+UNSUPPORTED_PROTOCOLS = frozenset({"maxmin"})
+
+
+def build_net_cluster(
+    protocol: str,
+    config: ClusterConfig,
+    seed: int = 0,
+    enforce: bool = True,
+) -> Cluster:
+    """Build a protocol cluster for networked deployment.
+
+    ``seed`` matters only for signature-bearing protocols: every party
+    derives the same :class:`~repro.crypto.signatures.SignatureAuthority`
+    from it, so signatures made in one OS process verify in another.
+    """
+    if protocol in UNSUPPORTED_PROTOCOLS:
+        raise ConfigurationError(
+            f"protocol {protocol!r} needs server-to-server links, which the "
+            "networked topology (clients dial servers) does not provide"
+        )
+    spec = get_protocol(protocol)
+    if protocol == "fast-byzantine":
+        return spec.build(config, enforce=enforce, seed=seed)
+    return spec.build(config, enforce=enforce)
+
+
+class ServerConnection(asyncio.Protocol):
+    """One accepted client connection: frames in, frames out."""
+
+    def __init__(self, server: "NetServer") -> None:
+        self.server = server
+        self.transport: Optional[asyncio.Transport] = None
+        self.buffer = FrameBuffer()
+        #: Client pids whose replies route over this connection.
+        self.claimed: Set[ProcessId] = set()
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+        self.server.connections.add(self)
+
+    def data_received(self, data: bytes) -> None:
+        try:
+            bodies = self.buffer.feed(data)
+        except ProtocolError:
+            # Framing desync is unrecoverable for this connection only.
+            self.close()
+            return
+        for body in bodies:
+            self.server.handle_frame(self, body)
+
+    def connection_lost(self, exc: Optional[Exception]) -> None:
+        self.server.forget_connection(self)
+
+    def send_frame(self, frame: bytes) -> None:
+        if self.transport is not None and not self.transport.is_closing():
+            self.transport.write(frame)
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+class NetServer:
+    """One register-server automaton behind one listening TCP socket.
+
+    Args:
+        protocol: registry name of the protocol to serve.
+        config: cluster parameters — must match what clients use.
+        index: which server (1-based, ``s<index>``) this instance is.
+        host/port: bind address (``port=0`` picks a free port; see
+            :attr:`port` after :meth:`start`).
+        seed: shared cluster seed (signature authority derivation).
+        serializer: wire serializer name (both sides must agree).
+        enforce: set ``False`` to skip the protocol feasibility check —
+            the load harness runs far more readers than the fast
+            protocols' thresholds allow.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        config: ClusterConfig,
+        index: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        serializer: Optional[str] = None,
+        enforce: bool = True,
+    ) -> None:
+        cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
+        self.protocol = protocol
+        self.config = config
+        self.automaton = cluster.server(index)
+        self.pid = self.automaton.pid
+        self.host = host
+        self.port = port
+        self.codec: Codec = get_codec(serializer)
+        self.runtime = AsyncRuntime(seed=seed)
+        self.runtime.add_process(self.automaton)
+        self.runtime.set_default_route(self._route_out)
+        self.connections: Set[ServerConnection] = set()
+        self._client_conns: Dict[ProcessId, ServerConnection] = {}
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self.frames_in = 0
+        self.frames_bad = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._asyncio_server = await loop.create_server(
+            lambda: ServerConnection(self), self.host, self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        for conn in list(self.connections):
+            conn.close()
+
+    async def serve_forever(self) -> None:
+        if self._asyncio_server is None:
+            await self.start()
+        await self._asyncio_server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+
+    def handle_frame(self, conn: ServerConnection, body: bytes) -> None:
+        try:
+            src, dst, payload = self.codec.decode_body(body)
+        except ProtocolError:
+            self.frames_bad += 1
+            return  # drop the frame; a decode error is not a desync
+        self.frames_in += 1
+        if src.is_client and src not in conn.claimed:
+            # Replies to this client now route over this connection.
+            conn.claimed.add(src)
+            self._client_conns[src] = conn
+            self.runtime.set_route(src, self._route_out)
+        self.runtime.deliver(src, dst, payload)
+
+    def _route_out(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        conn = self._client_conns.get(dst)
+        if conn is None:
+            return  # client vanished between request and reply
+        conn.send_frame(self.codec.encode_frame(src, dst, payload))
+
+    def forget_connection(self, conn: ServerConnection) -> None:
+        self.connections.discard(conn)
+        for pid in conn.claimed:
+            if self._client_conns.get(pid) is conn:
+                del self._client_conns[pid]
+                self.runtime.clear_route(pid)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+async def start_servers(
+    protocol: str,
+    config: ClusterConfig,
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+    seed: int = 0,
+    serializer: Optional[str] = None,
+    enforce: bool = True,
+) -> "list[NetServer]":
+    """Start all ``S`` servers of one cluster in this event loop.
+
+    With ``base_port=0`` each server binds an ephemeral port; otherwise
+    server ``s<i>`` listens on ``base_port + i - 1``.
+    """
+    servers = []
+    for index in range(1, config.S + 1):
+        port = 0 if base_port == 0 else base_port + index - 1
+        server = NetServer(
+            protocol,
+            config,
+            index,
+            host=host,
+            port=port,
+            seed=seed,
+            serializer=serializer,
+            enforce=enforce,
+        )
+        await server.start()
+        servers.append(server)
+    return servers

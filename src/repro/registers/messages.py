@@ -17,21 +17,185 @@ Message families:
   query/update rounds used by ABD, SWSR, regular and MWMR protocols.
 * ``MaxMinRead/MaxMinGossip/MaxMinReadAck`` — the decentralised
   max-min read of the introduction.
+
+Every message class carries explicit ``to_wire``/``from_wire``
+round-trip methods (via :class:`WireMessage`): ``to_wire`` produces a
+JSON-ready dict stamped with :data:`WIRE_VERSION` and the message type
+name, and ``from_wire`` reconstructs an *equal* instance.  The socket
+transport (:mod:`repro.net.codec`) frames exactly these dicts; the
+value codec below knows the closed set of types that appear in message
+fields (tags, process ids, frozensets, tuples, signature material).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, FrozenSet
+from dataclasses import dataclass, fields
+from typing import Any, Dict, FrozenSet
 
+from repro.errors import ProtocolError
 from repro.sim.ids import ProcessId
+
+#: Version stamp embedded in every ``to_wire`` dict.  Bump on any
+#: incompatible change to a message's field set or the value encoding;
+#: ``from_wire`` rejects frames from a different version outright —
+#: cross-version negotiation is a non-goal for a reproduction.
+WIRE_VERSION = 1
+
+
+def wire_encode_value(value: Any) -> Any:
+    """Encode one message-field value as JSON-ready data.
+
+    Scalars pass through; everything else becomes a dict tagged with
+    ``"__k"`` naming the constructor.  The closed set of structured
+    types is exactly what register-protocol messages may carry.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Local imports: timestamps imports crypto which imports ids; keeping
+    # messages import-light preserves the layering (messages has no
+    # module-level dependency on the tag machinery).
+    from repro.crypto.signatures import SignedPayload
+    from repro.registers.timestamps import MWTimestamp, SignedValueTag, ValueTag
+
+    if isinstance(value, ProcessId):
+        return {"__k": "pid", "id": str(value)}
+    if isinstance(value, ValueTag):
+        return {
+            "__k": "tag",
+            "ts": wire_encode_value(value.ts),
+            "value": wire_encode_value(value.value),
+            "prev": wire_encode_value(value.prev_value),
+        }
+    if isinstance(value, SignedValueTag):
+        return {
+            "__k": "stag",
+            "ts": value.ts,
+            "value": wire_encode_value(value.value),
+            "prev": wire_encode_value(value.prev_value),
+            "signed": wire_encode_value(value.signed),
+        }
+    if isinstance(value, MWTimestamp):
+        return {"__k": "mwts", "num": value.num, "wid": value.wid}
+    if isinstance(value, SignedPayload):
+        return {
+            "__k": "signed",
+            "signer": str(value.signer),
+            "payload": wire_encode_value(value.payload),
+            "tag": value.tag.hex(),
+        }
+    if isinstance(value, frozenset):
+        return {
+            "__k": "fset",
+            "items": sorted(
+                (wire_encode_value(item) for item in value),
+                key=lambda enc: repr(enc),
+            ),
+        }
+    if isinstance(value, tuple):
+        return {"__k": "tuple", "items": [wire_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__k": "list", "items": [wire_encode_value(v) for v in value]}
+    if isinstance(value, bytes):
+        return {"__k": "bytes", "hex": value.hex()}
+    raise ProtocolError(
+        f"cannot wire-encode {type(value).__name__}: {value!r} is outside "
+        "the closed set of register-message field types"
+    )
+
+
+def wire_decode_value(data: Any) -> Any:
+    """Inverse of :func:`wire_encode_value`."""
+    if not isinstance(data, dict):
+        return data
+    from repro.crypto.signatures import SignedPayload
+    from repro.registers.timestamps import MWTimestamp, SignedValueTag, ValueTag
+    from repro.spec.histories import parse_pid
+
+    kind = data.get("__k")
+    if kind == "pid":
+        return parse_pid(data["id"])
+    if kind == "tag":
+        return ValueTag(
+            ts=wire_decode_value(data["ts"]),
+            value=wire_decode_value(data["value"]),
+            prev_value=wire_decode_value(data["prev"]),
+        )
+    if kind == "stag":
+        return SignedValueTag(
+            ts=data["ts"],
+            value=wire_decode_value(data["value"]),
+            prev_value=wire_decode_value(data["prev"]),
+            signed=wire_decode_value(data["signed"]),
+        )
+    if kind == "mwts":
+        return MWTimestamp(num=data["num"], wid=data["wid"])
+    if kind == "signed":
+        return SignedPayload(
+            signer=parse_pid(data["signer"]),
+            payload=wire_decode_value(data["payload"]),
+            tag=bytes.fromhex(data["tag"]),
+        )
+    if kind == "fset":
+        return frozenset(wire_decode_value(item) for item in data["items"])
+    if kind == "tuple":
+        return tuple(wire_decode_value(item) for item in data["items"])
+    if kind == "list":
+        return [wire_decode_value(item) for item in data["items"]]
+    if kind == "bytes":
+        return bytes.fromhex(data["hex"])
+    raise ProtocolError(f"cannot wire-decode value tagged {kind!r}")
+
+
+class WireMessage:
+    """Mixin giving every message dataclass a versioned wire round-trip."""
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-ready dict: version stamp, type name, encoded fields."""
+        return {
+            "v": WIRE_VERSION,
+            "t": type(self).__name__,
+            "f": {
+                field.name: wire_encode_value(getattr(self, field.name))
+                for field in fields(self)
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "WireMessage":
+        """Rebuild an instance from :meth:`to_wire` output (equal by ==)."""
+        if data.get("v") != WIRE_VERSION:
+            raise ProtocolError(
+                f"wire version mismatch: got {data.get('v')!r}, "
+                f"this build speaks {WIRE_VERSION}"
+            )
+        name = data.get("t")
+        if name != cls.__name__:
+            raise ProtocolError(
+                f"{cls.__name__}.from_wire got a {name!r} frame; "
+                "use decode_message for type dispatch"
+            )
+        decoded = {
+            key: wire_decode_value(value) for key, value in data["f"].items()
+        }
+        return cls(**decoded)
+
+
+def decode_message(data: Dict[str, Any]) -> "WireMessage":
+    """Type-dispatching inverse of :meth:`WireMessage.to_wire`."""
+    try:
+        cls = MESSAGE_TYPES[data["t"]]
+    except (KeyError, TypeError):
+        raise ProtocolError(
+            f"unknown wire message type {data.get('t')!r}"
+        ) from None
+    return cls.from_wire(data)
 
 # ----------------------------------------------------------------------
 # fast SWMR protocols (Figures 2 and 5)
 
 
 @dataclass(frozen=True)
-class FastRead:
+class FastRead(WireMessage):
     """Reader -> servers.  ``tag`` is the reader's current ``maxTS``
     tag, written back in-band (Figure 2 lines 13-14)."""
 
@@ -41,7 +205,7 @@ class FastRead:
 
 
 @dataclass(frozen=True)
-class FastWrite:
+class FastWrite(WireMessage):
     """Writer -> servers.  ``r_counter`` is always 0 at the writer."""
 
     op_id: int
@@ -50,7 +214,7 @@ class FastWrite:
 
 
 @dataclass(frozen=True)
-class FastReadAck:
+class FastReadAck(WireMessage):
     """Server -> reader: current tag, seen set and echoed counter."""
 
     op_id: int
@@ -60,7 +224,7 @@ class FastReadAck:
 
 
 @dataclass(frozen=True)
-class FastWriteAck:
+class FastWriteAck(WireMessage):
     """Server -> writer."""
 
     op_id: int
@@ -74,14 +238,14 @@ class FastWriteAck:
 
 
 @dataclass(frozen=True)
-class Query:
+class Query(WireMessage):
     """Client -> servers: request the current tag."""
 
     op_id: int
 
 
 @dataclass(frozen=True)
-class QueryReply:
+class QueryReply(WireMessage):
     """Server -> client: the server's current tag."""
 
     op_id: int
@@ -89,7 +253,7 @@ class QueryReply:
 
 
 @dataclass(frozen=True)
-class Store:
+class Store(WireMessage):
     """Client -> servers: adopt this tag if newer (write or write-back)."""
 
     op_id: int
@@ -97,7 +261,7 @@ class Store:
 
 
 @dataclass(frozen=True)
-class StoreAck:
+class StoreAck(WireMessage):
     """Server -> client: acknowledges a Store, echoing its timestamp."""
 
     op_id: int
@@ -109,7 +273,7 @@ class StoreAck:
 
 
 @dataclass(frozen=True)
-class MaxMinRead:
+class MaxMinRead(WireMessage):
     """Reader -> servers: triggers the server-to-server round."""
 
     op_id: int
@@ -117,7 +281,7 @@ class MaxMinRead:
 
 
 @dataclass(frozen=True)
-class MaxMinGossip:
+class MaxMinGossip(WireMessage):
     """Server -> servers: the sender's current tag for one read."""
 
     op_id: int
@@ -127,7 +291,7 @@ class MaxMinGossip:
 
 
 @dataclass(frozen=True)
-class MaxMinReadAck:
+class MaxMinReadAck(WireMessage):
     """Server -> reader: max tag over the server's gossip pool."""
 
     op_id: int
@@ -137,3 +301,8 @@ class MaxMinReadAck:
 
 CLIENT_REQUESTS = (FastRead, FastWrite, Query, Store, MaxMinRead)
 SERVER_REPLIES = (FastReadAck, FastWriteAck, QueryReply, StoreAck, MaxMinReadAck)
+
+#: Wire-type registry: every message the codec can frame, by class name.
+MESSAGE_TYPES = {
+    cls.__name__: cls for cls in (*CLIENT_REQUESTS, *SERVER_REPLIES, MaxMinGossip)
+}

@@ -1,0 +1,81 @@
+"""The pluggable runtime seam.
+
+A register automaton (:class:`repro.sim.process.Process`) never touches
+an event queue, a socket, or a clock directly: every effect it has on
+the world goes through the per-step :class:`~repro.sim.process.Context`,
+which delegates to a :class:`Runtime`.  This module defines that seam.
+
+Three implementations exist in-tree, and the *same unmodified automaton
+classes* run under each of them:
+
+* :class:`repro.sim.runtime.Simulation` — the free-running discrete-event
+  simulator (virtual time, sampled latencies);
+* :class:`repro.sim.controller.ScriptedExecution` — the adversarial
+  scripted controller (delivery order chosen by a schedule);
+* :class:`repro.net.runtime.AsyncRuntime` — real asyncio sockets
+  (wall-clock time, length-prefixed wire frames).
+
+A fourth runtime (shared-memory, record/replay, ...) is one new subclass
+of :class:`Runtime`, not a rewrite of the protocol layer.
+
+The contract an implementation must honour:
+
+* ``emit`` is fire-and-forget: the runtime owns delivery timing and may
+  reorder or (for crashed/faulty parties) drop messages, but must never
+  duplicate them (the model's channels do not duplicate).
+* ``record_response`` completes the pending operation of a *client*
+  process; the runtime records it in its :class:`~repro.spec.histories.History`
+  and notifies ``on_response`` observers.
+* ``now`` is monotone non-decreasing within a run.  Units are
+  runtime-defined (virtual delays in the simulator, seconds on sockets);
+  correctness judgements only use relative order.
+* ``set_timer`` schedules a callback after a delay in the runtime's own
+  time units.  No in-tree paper automaton uses timers (the model is
+  asynchronous), but transports and workload drivers do.
+* ``rng`` is a deterministic, seed-derived stream: two runs of the same
+  runtime with the same seed observe identical draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.sim.ids import ProcessId
+
+
+class Runtime:
+    """Interface automata (via :class:`Context`) see; one per execution.
+
+    Formerly named ``RuntimeCore`` and defined next to the process
+    classes; the old name remains importable from
+    :mod:`repro.sim.process` for backwards compatibility.
+    """
+
+    @property
+    def now(self) -> float:  # pragma: no cover - interface
+        """Current time in this runtime's units (monotone within a run)."""
+        raise NotImplementedError
+
+    @property
+    def rng(self) -> random.Random:  # pragma: no cover - interface
+        """Seed-derived random stream owned by the runtime."""
+        raise NotImplementedError
+
+    def emit(
+        self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int
+    ) -> None:  # pragma: no cover - interface
+        """Send ``payload`` from ``src`` to ``dst``; delivery is async."""
+        raise NotImplementedError
+
+    def record_response(
+        self, pid: ProcessId, result: Any, step_id: int
+    ) -> None:  # pragma: no cover - interface
+        """Complete the pending operation of client ``pid``."""
+        raise NotImplementedError
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None], tag: str = "timer"
+    ) -> None:  # pragma: no cover - interface
+        """Run ``callback`` after ``delay`` of this runtime's time."""
+        raise NotImplementedError

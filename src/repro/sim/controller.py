@@ -44,6 +44,7 @@ class ScriptedExecution(RuntimeCore):
         self._time = 0.0
         self._next_step = 1
         self._current_step = 0
+        self._rng = None
         self._journal: Optional[List[Tuple]] = None
         #: Per-entity change stamps (process ids + "history"), drawn
         #: from one monotone clock and maintained only while the undo
@@ -74,11 +75,34 @@ class ScriptedExecution(RuntimeCore):
             raise SimulationError(f"no process {pid} in this execution") from None
 
     # ------------------------------------------------------------------
-    # RuntimeCore interface
+    # Runtime interface (see :mod:`repro.runtime`)
 
     @property
     def now(self) -> float:
         return self._time
+
+    @property
+    def rng(self):
+        """Deterministic stream; fixed seed because scripted runs derive
+        all nondeterminism from the schedule, never from chance."""
+        if self._rng is None:
+            from repro.sim.rng import substream
+
+            self._rng = substream(0, "scripted")
+        return self._rng
+
+    def set_timer(self, delay: float, callback, tag: str = "timer") -> None:
+        """Timers are not schedule choice points; scripted runs forbid them.
+
+        The explorer enumerates message deliveries, crashes and quorum
+        choices — a timer firing would be a hidden transition invisible
+        to the schedule vocabulary, so automata that need timers cannot
+        be explored (none in-tree do).
+        """
+        raise ScheduleError(
+            "set_timer is not available under scripted execution; "
+            "timers would be transitions the schedule cannot order"
+        )
 
     def emit(self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int) -> None:
         if dst not in self.processes:

@@ -3,17 +3,21 @@
 A process is a deterministic automaton in the style of the paper's model
 (Section 2.2): a step consumes one message (or an invocation) and
 atomically updates local state and emits a set of messages.  The same
-automaton classes run unchanged under the free-running randomized runtime
-(:mod:`repro.sim.runtime`) and the scripted adversarial controller
-(:mod:`repro.sim.controller`); the difference between the two is purely
-*when* sent messages are delivered.
+automaton classes run unchanged under every implementation of the
+:class:`repro.runtime.Runtime` seam: the free-running randomized runtime
+(:mod:`repro.sim.runtime`), the scripted adversarial controller
+(:mod:`repro.sim.controller`) and the asyncio socket transport
+(:mod:`repro.net.runtime`); the difference between them is purely *when*
+(and over what medium) sent messages are delivered.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+import random
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ProtocolError
+from repro.runtime import Runtime
 from repro.sim.ids import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -31,7 +35,7 @@ class Context:
 
     __slots__ = ("_runtime", "_pid", "_step_id")
 
-    def __init__(self, runtime: "RuntimeCore", pid: ProcessId, step_id: int) -> None:
+    def __init__(self, runtime: Runtime, pid: ProcessId, step_id: int) -> None:
         self._runtime = runtime
         self._pid = pid
         self._step_id = step_id
@@ -43,6 +47,11 @@ class Context:
     @property
     def now(self) -> float:
         return self._runtime.now
+
+    @property
+    def rng(self) -> random.Random:
+        """The runtime's seed-derived random stream."""
+        return self._runtime.rng
 
     @property
     def step_id(self) -> int:
@@ -65,6 +74,12 @@ class Context:
     def complete(self, result: Any) -> None:
         """Complete the pending operation of this (client) process."""
         self._runtime.record_response(self._pid, result, self._step_id)
+
+    def set_timer(
+        self, delay: float, callback: Callable[[], None], tag: str = "timer"
+    ) -> None:
+        """Schedule ``callback`` after ``delay`` of runtime time."""
+        self._runtime.set_timer(delay, callback, tag)
 
 
 class Process:
@@ -137,19 +152,7 @@ class ClientProcess(Process):
         raise NotImplementedError
 
 
-class RuntimeCore:
-    """Interface automata see; implemented by both runtimes."""
-
-    @property
-    def now(self) -> float:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def emit(
-        self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int
-    ) -> None:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def record_response(
-        self, pid: ProcessId, result: Any, step_id: int
-    ) -> None:  # pragma: no cover - interface
-        raise NotImplementedError
+#: Backwards-compatible alias: the runtime interface now lives at
+#: :class:`repro.runtime.Runtime` (it is the seam every transport
+#: implements, not a simulator detail).
+RuntimeCore = Runtime

@@ -62,6 +62,7 @@ class Simulation(RuntimeCore):
         self._current_step = 0
         self._on_response: List[Callable[[Operation], None]] = []
         self._crash_after_sends: Dict[ProcessId, int] = {}
+        self._automata_rng = None  # lazy; most runs never draw from it
         self._step_ctx = Context(self, None, 0)
         self.network = SimNetwork(
             queue=self.queue,
@@ -100,11 +101,24 @@ class Simulation(RuntimeCore):
             raise SimulationError(f"no process {pid} in this simulation") from None
 
     # ------------------------------------------------------------------
-    # RuntimeCore interface
+    # Runtime interface (see :mod:`repro.runtime`)
 
     @property
     def now(self) -> float:
         return self.clock._now
+
+    @property
+    def rng(self):
+        """Seed-derived stream for automata (distinct from latency draws)."""
+        if self._automata_rng is None:
+            self._automata_rng = substream(self.seed, "automata")
+        return self._automata_rng
+
+    def set_timer(self, delay: float, callback, tag: str = "timer") -> None:
+        """Schedule ``callback`` ``delay`` simulated time units from now."""
+        if delay < 0:
+            raise SimulationError(f"timer delay must be >= 0, got {delay}")
+        self.queue.schedule(self.clock._now + delay, callback, tag=tag)
 
     def emit(self, src: ProcessId, dst: ProcessId, payload: Any, step_id: int) -> None:
         if dst not in self.processes:

@@ -32,7 +32,7 @@ from repro.spec.linearizability import (
     check_mwmr_p1_p2,
     find_linearization,
 )
-from repro.spec.online import HistoryValidator, validate_history
+from repro.spec.online import HistoryValidator, check_history, validate_history
 from repro.spec.regularity import check_swmr_regularity, count_new_old_inversions
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "WRITE",
     "analyze_operation",
     "check_all_fast",
+    "check_history",
     "check_linearizable",
     "check_mwmr_p1_p2",
     "check_swmr_atomicity",

@@ -142,6 +142,57 @@ class HistoryValidator:
         return rounds_histogram(self.trace, self.history, scan=self._scan)
 
 
+def check_history(history: History) -> Dict[str, object]:
+    """Judge a finished history in one call (the ``repro check`` engine).
+
+    Returns a plain summary dict:
+
+    * ``"single_writer"`` — whether the history has at most one writer;
+    * ``"verdicts"`` — ordered name → :class:`Verdict` mapping:
+      ``atomic`` always, then ``linearizable`` and ``regular`` for
+      single-writer histories or ``p1p2`` for multi-writer ones;
+    * ``"cross_check_ok"`` — whether the independent general
+      linearization search agreed with the fast single-writer verdict
+      (vacuously ``True`` for multi-writer histories, where no fast
+      path is taken);
+    * ``"inversions"`` — new/old inversion count (single-writer only,
+      otherwise ``None``);
+    * ``"ok"`` — every verdict holds and the cross-check agrees.
+    """
+    from repro.spec.linearizability import (
+        check_linearizable,
+        check_mwmr_p1_p2,
+        find_linearization,
+    )
+    from repro.spec.regularity import count_new_old_inversions
+
+    single_writer = history.single_writer()
+    validator = validate_history(history)
+    verdicts: Dict[str, Verdict] = {"atomic": validator.atomic_verdict()}
+    cross_check_ok = True
+    inversions: Optional[int] = None
+    if single_writer:
+        linearizable = check_linearizable(history)
+        verdicts["linearizable"] = linearizable
+        verdicts["regular"] = validator.regular_verdict()
+        # Independent cross-check: the verdict above took the greedy
+        # single-writer fast path; the witness search always runs the
+        # general segmented search.  The two must agree.
+        witness = find_linearization(history)
+        cross_check_ok = (witness is not None) == linearizable.ok
+        inversions, _ = count_new_old_inversions(history)
+    else:
+        verdicts["p1p2"] = check_mwmr_p1_p2(history)
+    ok = all(verdict.ok for verdict in verdicts.values()) and cross_check_ok
+    return {
+        "single_writer": single_writer,
+        "verdicts": verdicts,
+        "cross_check_ok": cross_check_ok,
+        "inversions": inversions,
+        "ok": ok,
+    }
+
+
 def validate_history(
     history: History,
     trace: Optional[TraceLog] = None,

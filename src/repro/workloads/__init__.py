@@ -1,7 +1,7 @@
 """Workload generation and experiment running."""
 
 from repro.workloads.generators import ClosedLoopWorkload, WorkloadDriver
-from repro.workloads.runner import RunResult, run_workload
+from repro.workloads.runner import RunResult, run_scenario, run_workload
 from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario
 
 __all__ = [
@@ -11,5 +11,6 @@ __all__ = [
     "Scenario",
     "WorkloadDriver",
     "get_scenario",
+    "run_scenario",
     "run_workload",
 ]

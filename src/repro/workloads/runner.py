@@ -132,3 +132,38 @@ def run_workload(
         events_executed=events,
         validator=validator,
     )
+
+
+def run_scenario(
+    protocol: str,
+    config: ClusterConfig,
+    scenario: str = "smoke",
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    record_trace: bool = True,
+    enforce: bool = True,
+    max_events: int = 2_000_000,
+) -> RunResult:
+    """Run a named scenario (workload shape + fault plan) end to end.
+
+    Scenarios are the canned recipes in
+    :mod:`repro.workloads.scenarios` (``"smoke"``, ``"contention"``,
+    ``"faulty"``, ...); this resolves one by name, derives its crash
+    plan from ``seed`` and hands everything to :func:`run_workload`.
+    The one-call entry point for experiments that should be comparable
+    across benchmarks and tests.
+    """
+    from repro.workloads.scenarios import get_scenario
+
+    named = get_scenario(scenario)
+    return run_workload(
+        protocol,
+        config,
+        workload=named.workload,
+        seed=seed,
+        latency=latency,
+        crash_plan=named.crash_plan(config, seed),
+        record_trace=record_trace,
+        enforce=enforce,
+        max_events=max_events,
+    )

@@ -1,0 +1,85 @@
+"""Unit tests for the log-bucketed, mergeable latency histogram."""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import LatencyHistogram
+
+
+class TestBasics:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.nonzero_buckets() == []
+
+    def test_single_value_quantiles_clamp_to_observed(self):
+        hist = LatencyHistogram.from_values([0.0123])
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(fraction) == pytest.approx(0.0123)
+        assert hist.minimum == hist.maximum == pytest.approx(0.0123)
+
+    def test_fraction_out_of_range_rejected(self):
+        hist = LatencyHistogram.from_values([1.0])
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_sub_resolution_values_land_in_first_bucket(self):
+        hist = LatencyHistogram.from_values([1e-9, 1e-8])
+        assert len(hist.nonzero_buckets()) == 1
+        assert hist.quantile(0.5) <= LatencyHistogram.RESOLUTION
+
+
+class TestAccuracy:
+    def test_relative_quantile_error_is_one_bucket(self):
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s
+        hist = LatencyHistogram.from_values(values)
+        assert hist.count == 1000
+        assert hist.mean == pytest.approx(sum(values) / 1000)
+        for fraction in (0.5, 0.9, 0.99):
+            exact = values[int(fraction * 1000) - 1]
+            estimate = hist.quantile(fraction)
+            # One geometric bucket of slack: within RATIO of exact.
+            assert exact / LatencyHistogram.RATIO <= estimate
+            assert estimate <= exact * LatencyHistogram.RATIO
+
+    def test_quantiles_monotone(self):
+        import random
+
+        rng = random.Random(7)
+        hist = LatencyHistogram.from_values(
+            [rng.lognormvariate(-6, 1.5) for _ in range(5000)]
+        )
+        quantiles = [hist.quantile(f / 100) for f in range(0, 101, 5)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestMerge:
+    def test_merge_equals_from_concatenation(self):
+        a_values = [0.001 * i for i in range(1, 200)]
+        b_values = [0.0005 * i for i in range(1, 300)]
+        merged = LatencyHistogram.from_values(a_values).merge(
+            LatencyHistogram.from_values(b_values)
+        )
+        whole = LatencyHistogram.from_values(a_values + b_values)
+        assert merged.counts == whole.counts
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert merged.quantile(0.9) == whole.quantile(0.9)
+
+
+class TestSerialization:
+    def test_to_dict_is_json_clean_and_consistent(self):
+        hist = LatencyHistogram.from_values([0.002, 0.004, 0.009, 0.3])
+        payload = json.loads(json.dumps(hist.to_dict()))
+        assert payload["count"] == 4
+        assert payload["min"] == pytest.approx(0.002)
+        assert payload["max"] == pytest.approx(0.3)
+        assert payload["p50"] <= payload["p90"] <= payload["p99"]
+        assert sum(bucket["n"] for bucket in payload["buckets"]) == 4
+        edges = [bucket["le"] for bucket in payload["buckets"]]
+        assert edges == sorted(edges)

@@ -1,0 +1,108 @@
+"""CLI tests for the networked subcommands (`repro serve`, `repro load`)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import _parse_addresses, build_parser, main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestParsing:
+    def test_load_defaults(self):
+        args = build_parser().parse_args(["load"])
+        assert args.protocol == "regular-fast"
+        assert args.servers == 5
+        assert args.readers == 1000
+        assert args.workers == 4
+
+    def test_clients_alias_sets_readers(self):
+        args = build_parser().parse_args(["load", "--clients", "77"])
+        assert args.readers == 77
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.protocol == "fast-crash"
+        assert args.servers == 5
+        assert args.base_port == 7400
+        assert args.index is None
+
+    def test_parse_addresses(self):
+        assert _parse_addresses("h1:7001,h2:7002") == [("h1", 7001), ("h2", 7002)]
+
+    def test_parse_addresses_rejects_garbage(self):
+        with pytest.raises(Exception):
+            _parse_addresses("no-port")
+
+
+class TestLoadCommand:
+    def test_small_load_end_to_end(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "6",
+                "--ops", "2",
+                "--workers", "1",
+                "--write-interval", "0.02",
+                "--sim-check",
+                "--out", str(out_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "abd" in captured.out
+        assert "p50" in captured.out
+        assert "verdicts" in captured.out
+        payload = json.loads(out_file.read_text())
+        assert payload["format"] == "repro-load-report/v1"
+        assert payload["verdicts"]["atomic"] is True
+        assert payload["sim_check"]["agree"] is True
+        assert payload["rounds"]["read"] == {"2": payload["config"]["readers"] * 2}
+
+    def test_unsupported_protocol_exits_2(self, capsys):
+        code = main(
+            ["load", "--protocol", "maxmin", "--servers", "3", "--clients", "2"]
+        )
+        assert code == 2
+        assert "maxmin" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_prints_listeners_and_stops_on_sigint(self):
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli",
+                "serve",
+                "--protocol", "abd",
+                "--servers", "2",
+                "--t", "0",
+                "--base-port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            lines = [proc.stdout.readline() for _ in range(2)]
+            assert all("listening on" in line for line in lines), lines
+            assert lines[0].startswith("s1 ") and lines[1].startswith("s2 ")
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                code = proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        assert code == 0
