@@ -153,6 +153,47 @@ def render_load_report(report) -> str:
         for name, ok in sorted(report.verdicts.items())
     )
     lines.append(f"verdicts      : {verdicts}")
+    if getattr(report, "window_initial", None) is not None:
+        lines.append(
+            f"window judge  : pre-window value {report.window_initial!r} "
+            "treated as the window's initial value"
+        )
+    chaos_shards = getattr(report, "chaos_shards", None)
+    if chaos_shards:
+        totals: dict = {}
+        for record in chaos_shards.values():
+            for key, count in (record.get("stats") or {}).items():
+                totals[key] = totals.get(key, 0) + count
+        lines.append(
+            f"chaos         : {totals.get('frames', 0)} frames intercepted — "
+            f"{totals.get('dropped', 0)} dropped, "
+            f"{totals.get('delayed', 0)} delayed, "
+            f"{totals.get('duplicated', 0)} duplicated, "
+            f"{totals.get('reordered', 0)} reordered, "
+            f"{totals.get('partition_dropped', 0)} partition-dropped"
+        )
+    degradation = getattr(report, "degradation", None)
+    if degradation is not None:
+        ops = degradation.get("ops", {})
+        lines.append(
+            f"degradation   : ops fast={ops.get('fast', 0)} "
+            f"slow={ops.get('slow', 0)} timed_out={ops.get('timed_out', 0)} "
+            f"(slow > {degradation.get('slow_threshold_s', 0):g}s); "
+            f"retransmits={degradation.get('retransmits', 0)} "
+            f"reconnects={degradation.get('reconnects', 0)} "
+            f"connect_failures={degradation.get('connect_failures', 0)}"
+        )
+        uptime = degradation.get("uptime") or {}
+        if uptime:
+            lines.append(
+                "link uptime   : "
+                + "  ".join(
+                    f"s{server}={fraction:.0%}"
+                    for server, fraction in sorted(
+                        uptime.items(), key=lambda kv: int(kv[0])
+                    )
+                )
+            )
     if report.sim_check is not None:
         check = report.sim_check
         lines.append(

@@ -510,11 +510,44 @@ def _parse_addresses(text: str) -> List:
     return addresses
 
 
+def _parse_chaos(text: str, servers: int, t: int):
+    """``--chaos`` argument: a plan file, ``seed:N`` or ``seed:N:beyond[:k]``.
+
+    ``seed:N`` derives the canned ≤ t plan (mild drops/delays/dups/
+    reorders plus one kill/restart when t ≥ 1); ``seed:N:beyond`` fails
+    ``t+1`` servers outright (``:beyond:k`` for ``t+k``) — the graceful-
+    degradation experiment.  Anything else is read as a serialized
+    ``FaultPlan`` JSON file.
+    """
+    from repro.errors import ConfigurationError
+    from repro.net.chaos import FaultPlan
+
+    if text.startswith("seed:"):
+        parts = text.split(":")
+        try:
+            plan_seed = int(parts[1])
+        except (IndexError, ValueError):
+            raise ConfigurationError(
+                f"bad --chaos spec {text!r}; expected seed:<int>[:beyond[:k]]"
+            ) from None
+        beyond = 0
+        if len(parts) > 2:
+            if parts[2] != "beyond":
+                raise ConfigurationError(
+                    f"bad --chaos spec {text!r}; expected seed:<int>[:beyond[:k]]"
+                )
+            beyond = int(parts[3]) if len(parts) > 3 else 1
+        return FaultPlan.generate(plan_seed, servers, t, beyond=beyond)
+    with open(text, "r", encoding="utf-8") as handle:
+        return FaultPlan.from_json(handle.read())
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     import json
 
     from repro.errors import ReproError
-    from repro.net.harness import ServerCluster
+    from repro.net.chaos import build_run_record, plan_summary
+    from repro.net.harness import ChaosEventDriver, ServerCluster
     from repro.net.loadgen import LoadSpec, run_load, sim_rounds_check
     from repro.analysis.report import render_load_report
 
@@ -522,6 +555,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if ops is None and args.duration is None:
         ops = 10  # default stop rule: a short fixed-ops run
     cluster = None
+    driver = None
+    plan = None
     try:
         if args.connect:
             addresses = args.connect
@@ -544,6 +579,9 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 enforce=False,
             )
             addresses = cluster.addresses
+        if args.chaos:
+            plan = _parse_chaos(args.chaos, len(addresses), args.t)
+            print(f"chaos plan: {plan_summary(plan)}", file=sys.stderr)
         spec = LoadSpec(
             protocol=args.protocol,
             addresses=tuple(addresses),
@@ -558,6 +596,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             serializer=args.serializer,
             timeout=args.timeout,
             ramp=args.ramp,
+            chaos=plan,
         )
         from repro.registers.registry import get_protocol
 
@@ -568,6 +607,17 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 f"region ({problem}); running anyway",
                 file=sys.stderr,
             )
+        if plan is not None and plan.events:
+            if cluster is not None:
+                driver = ChaosEventDriver(cluster, plan)
+                driver.start()
+            else:
+                print(
+                    "note: --connect mode cannot execute the plan's "
+                    "kill/restart events (no spawned cluster); frame "
+                    "faults still apply",
+                    file=sys.stderr,
+                )
         report = run_load(spec)
         if args.sim_check:
             report.sim_check = sim_rounds_check(spec, report)
@@ -575,6 +625,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         print(f"load: {exc}", file=sys.stderr)
         return 2
     finally:
+        if driver is not None:
+            driver.stop()
         if cluster is not None:
             cluster.stop()
     print(render_load_report(report))
@@ -583,10 +635,88 @@ def _cmd_load(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"report written to {args.out}", file=sys.stderr)
+    if plan is not None and args.chaos_out:
+        record = build_run_record(
+            plan,
+            report.chaos_shards,
+            t=spec.t,
+            events=driver.executed if driver is not None else [],
+            summary={
+                "ops_complete": report.ops_complete,
+                "ops_incomplete": report.ops_incomplete,
+                "throughput_ops_s": report.throughput,
+                "fast_read_fraction": report.fast_read_fraction,
+                "verdicts": report.verdicts,
+                "degradation": report.degradation,
+            },
+        )
+        with open(args.chaos_out, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"chaos run record written to {args.chaos_out} "
+            "(verify with `repro chaos-replay`)",
+            file=sys.stderr,
+        )
     ok = report.ok and (
         report.sim_check is None or report.sim_check["agree"]
     )
+    if plan is not None and plan.beyond_budget(spec.t):
+        # Beyond the declared budget the service cannot promise liveness;
+        # a graceful run is one where every op completed or timed out
+        # cleanly and the degradation report is in hand.  Exit code 4
+        # marks exactly that outcome (0/1 stay within-budget semantics).
+        print(
+            "chaos: plan exceeds t="
+            f"{spec.t} on purpose — degraded gracefully "
+            f"({report.ops_incomplete} ops timed out cleanly)",
+            file=sys.stderr,
+        )
+        return 4
+    if plan is not None and report.ops_incomplete > 0:
+        # Within budget every op must complete: a hung or timed-out op
+        # under ≤ t failures is a resilience bug, not chaos working.
+        print(
+            f"chaos: {report.ops_incomplete} ops failed to complete under a "
+            f"within-budget plan",
+            file=sys.stderr,
+        )
+        ok = False
     return 0 if ok else 1
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.net.chaos import verify_run_record
+
+    with open(args.record, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    try:
+        outcome = verify_run_record(record)
+    except ReproError as exc:
+        print(f"chaos-replay: {exc}", file=sys.stderr)
+        return 2
+    for index, shard in sorted(
+        outcome["shards"].items(), key=lambda kv: int(kv[0])
+    ):
+        status = "match" if shard["match"] else "MISMATCH"
+        print(
+            f"shard {index}: recorded={shard['recorded']} "
+            f"replayed={shard['replayed']} {status}"
+        )
+    if not outcome["shards"]:
+        print("no recorded shards in this run record")
+    print(
+        "replay: "
+        + (
+            "byte-identical fault trace"
+            if outcome["ok"]
+            else "TRACE MISMATCH (plan, seed or counters corrupted)"
+        )
+    )
+    return 0 if outcome["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -892,7 +1022,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the full report as JSON (BENCH_net.json)",
     )
+    load.add_argument(
+        "--chaos",
+        metavar="PLAN|seed:N[:beyond[:k]]",
+        default=None,
+        help="inject wire-level faults: a FaultPlan JSON file, seed:N for "
+        "the canned within-budget plan, or seed:N:beyond to fail t+1 "
+        "servers (graceful-degradation mode, exit code 4)",
+    )
+    load.add_argument(
+        "--chaos-out",
+        metavar="FILE",
+        default=None,
+        help="write the serialized plan + per-shard fault-trace digests "
+        "(replay-verify with `repro chaos-replay`)",
+    )
     load.set_defaults(fn=_cmd_load)
+
+    replay = sub.add_parser(
+        "chaos-replay",
+        help="re-derive a chaos run's injected-fault trace from its saved "
+        "plan and verify it byte-identical",
+    )
+    replay.add_argument("record", help="run record written by load --chaos-out")
+    replay.set_defaults(fn=_cmd_chaos_replay)
 
     return parser
 

@@ -22,11 +22,31 @@ Modules:
   verdict-checked :class:`LoadReport`.
 * :mod:`repro.net.harness` — spawned server clusters (OS processes) and
   the in-process parity-test runner.
+* :mod:`repro.net.chaos` — deterministic wire-level fault injection:
+  declarative replayable :class:`FaultPlan`, the frame-layer
+  :class:`ChaosInjector`, the :class:`DegradationLedger`, and reconnect
+  :class:`BackoffPolicy`.
 """
 
+from repro.net.chaos import (
+    BackoffPolicy,
+    ChaosInjector,
+    DegradationLedger,
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    ServerEvent,
+    build_run_record,
+    verify_run_record,
+)
 from repro.net.codec import Codec, FrameBuffer, get_codec
 from repro.net.client import ClientPool
-from repro.net.harness import NetRunResult, ServerCluster, run_net_workload
+from repro.net.harness import (
+    ChaosEventDriver,
+    NetRunResult,
+    ServerCluster,
+    run_net_workload,
+)
 from repro.net.loadgen import (
     LoadReport,
     LoadSpec,
@@ -43,19 +63,29 @@ from repro.net.server import (
 
 __all__ = [
     "AsyncRuntime",
+    "BackoffPolicy",
+    "ChaosEventDriver",
+    "ChaosInjector",
     "ClientPool",
     "Codec",
+    "DegradationLedger",
+    "FaultPlan",
     "FrameBuffer",
+    "LinkFaults",
     "LoadReport",
     "LoadSpec",
     "NetRunResult",
     "NetServer",
+    "Partition",
     "ServerCluster",
+    "ServerEvent",
     "UNSUPPORTED_PROTOCOLS",
     "build_net_cluster",
+    "build_run_record",
     "get_codec",
     "run_load",
     "run_net_workload",
     "sim_rounds_check",
     "start_servers",
+    "verify_run_record",
 ]

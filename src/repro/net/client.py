@@ -11,18 +11,40 @@ table entry; the socket count stays constant.
 into coroutine land: it invokes an operation on the pool's runtime and
 returns an awaitable resolved by the runtime's ``on_response`` hook when
 the automaton completes the operation.
+
+The pool is chaos-hardened (see :mod:`repro.net.chaos`):
+
+* **Reconnect with backoff.**  A lost or initially unreachable server
+  link is retried forever with exponential backoff + seeded jitter
+  instead of being treated as crashed for the rest of the run.
+* **Frame-level retransmission.**  The register automata assume the
+  paper's reliable channels and never retransmit; under lossy links the
+  pool re-sends an in-flight operation's recorded frames on a fixed
+  cadence until the automaton decides.  Safe because the protocols'
+  messages are idempotent (servers dedupe by sender and op id) and
+  invisible to round accounting (retransmits bypass ``emit``).
+* **Per-op deadlines that clean up.**  A timed-out ``run_op`` abandons
+  the operation in the runtime (history keeps it as incomplete), frees
+  the waiter, and leaves the pid immediately reusable.
+* **A degradation ledger** recording ops fast/slow/timed-out, link
+  uptime, reconnects and retransmits — the structured evidence of
+  graceful degradation when a fault plan goes beyond ``t``.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Iterable, Optional, Tuple
+import random
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ProtocolError, SimulationError
+from repro.net.chaos import BackoffPolicy, ChaosInjector, DegradationLedger
 from repro.net.codec import Codec, FrameBuffer, get_codec
 from repro.net.runtime import AsyncRuntime
 from repro.sim.ids import ProcessId
 from repro.sim.process import Process
+from repro.sim.rng import derive_seed
 from repro.spec.histories import Operation
 
 
@@ -46,12 +68,12 @@ class PoolConnection(asyncio.Protocol):
             self.close()
             return
         for body in bodies:
-            self.pool.handle_frame(body)
+            self.pool.handle_frame(body, self.server_pid)
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         if not self.lost.done():
             self.lost.set_result(exc)
-        self.pool.connection_down(self.server_pid)
+        self.pool.connection_down(self.server_pid, self)
 
     def send_frame(self, frame: bytes) -> None:
         if self.transport is not None and not self.transport.is_closing():
@@ -67,9 +89,17 @@ class ClientPool:
 
     Args:
         server_addrs: map of server pid to ``(host, port)``.
-        seed: runtime rng seed.
+        seed: runtime rng seed (also seeds reconnect jitter).
         origin: shared monotonic origin for cross-process timestamps.
         serializer: wire serializer (must match the servers').
+        chaos: optional :class:`ChaosInjector` applied to every frame in
+            both directions (send and deliver).
+        ledger: degradation ledger to record into (a fresh one is
+            created when omitted; always available as ``pool.ledger``).
+        retry_interval: cadence of in-flight frame retransmission while
+            an awaited operation is pending (``0`` disables it).
+        reconnect: whether lost/unreachable server links are retried.
+        backoff: reconnect backoff policy.
     """
 
     def __init__(
@@ -78,13 +108,30 @@ class ClientPool:
         seed: int = 0,
         origin: Optional[float] = None,
         serializer: Optional[str] = None,
+        chaos: Optional[ChaosInjector] = None,
+        ledger: Optional[DegradationLedger] = None,
+        retry_interval: float = 0.5,
+        reconnect: bool = True,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.server_addrs = dict(server_addrs)
         self.codec: Codec = get_codec(serializer)
         self.runtime = AsyncRuntime(seed=seed, origin=origin)
         self.runtime.on_response(self._resolve)
+        self.chaos = chaos
+        self.ledger = DegradationLedger() if ledger is None else ledger
+        self.retry_interval = retry_interval
+        self.reconnect_enabled = reconnect
+        self.backoff = BackoffPolicy() if backoff is None else backoff
+        self._backoff_rng = random.Random(derive_seed(seed, "reconnect-jitter"))
         self._conns: Dict[ProcessId, PoolConnection] = {}
         self._waiters: Dict[ProcessId, asyncio.Future] = {}
+        self._reconnect_tasks: Dict[ProcessId, asyncio.Task] = {}
+        self._closed = False
+        # Encoded frames of each awaited in-flight operation, for
+        # retransmission: op_id -> [(dst, frame), ...].
+        self._inflight: Dict[int, List[Tuple[ProcessId, bytes]]] = {}
+        self._recording: Optional[List[Tuple[ProcessId, bytes]]] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -95,18 +142,26 @@ class ClientPool:
 
     async def connect(self) -> None:
         loop = asyncio.get_running_loop()
+        self.ledger.start(
+            time.monotonic(),
+            tuple(pid.index for pid in self.server_addrs),
+        )
+        if self.chaos is not None:
+            self.chaos.start()
+        unreachable: List[ProcessId] = []
         for pid, (host, port) in self.server_addrs.items():
             try:
                 _, conn = await loop.create_connection(
                     lambda pid=pid: PoolConnection(self, pid), host, port
                 )
             except OSError:
-                # Crash model: an unreachable server is a crashed one.
-                # Leave its route unset so sends to it become drops; the
-                # automata's own quorum logic tolerates up to t of these.
+                # Crash model: an unreachable server sends/receives
+                # nothing for now — but unlike a crashed one it may come
+                # back, so keep knocking with backoff.
+                self.ledger.connect_failures += 1
+                unreachable.append(pid)
                 continue
-            self._conns[pid] = conn
-            self.runtime.set_route(pid, self._route_for(conn))
+            self._install(pid, conn)
         if not self._conns:
             raise SimulationError(
                 "could not reach any server: "
@@ -115,34 +170,111 @@ class ClientPool:
                     for pid, (host, port) in self.server_addrs.items()
                 )
             )
+        for pid in unreachable:
+            self._spawn_reconnect(pid)
 
     async def close(self) -> None:
+        self._closed = True
+        tasks = list(self._reconnect_tasks.values())
+        self._reconnect_tasks.clear()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
         for conn in self._conns.values():
             conn.close()
         self._conns.clear()
+        self.ledger.finalize(time.monotonic())
 
     # ------------------------------------------------------------------
     # frame plumbing
 
+    def _install(self, pid: ProcessId, conn: PoolConnection) -> None:
+        self._conns[pid] = conn
+        self.runtime.set_route(pid, self._route_for(conn))
+        self.ledger.link_up(pid.index, time.monotonic())
+
     def _route_for(self, conn: PoolConnection):
         codec = self.codec
+        pool = self
 
         def route(src: ProcessId, dst: ProcessId, payload: Any) -> None:
-            conn.send_frame(codec.encode_frame(src, dst, payload))
+            frame = codec.encode_frame(src, dst, payload)
+            op_id = getattr(payload, "op_id", None)
+            if op_id is not None:
+                bucket = pool._inflight.get(op_id)
+                if bucket is None:
+                    bucket = pool._recording
+                if bucket is not None:
+                    bucket.append((dst, frame))
+            pool._send(conn, dst, frame)
 
         return route
 
-    def handle_frame(self, body: bytes) -> None:
+    def _send(self, conn: PoolConnection, dst: ProcessId, frame: bytes) -> None:
+        if self.chaos is not None:
+            self.chaos.apply(dst.index, "send", lambda: conn.send_frame(frame))
+        else:
+            conn.send_frame(frame)
+
+    def handle_frame(
+        self, body: bytes, server_pid: Optional[ProcessId] = None
+    ) -> None:
         try:
             src, dst, payload = self.codec.decode_body(body)
         except ProtocolError:
             return  # garbage from a server: drop, keep the connection
-        self.runtime.deliver(src, dst, payload)
+        if self.chaos is not None and server_pid is not None:
+            self.chaos.apply(
+                server_pid.index,
+                "recv",
+                lambda: self.runtime.deliver(src, dst, payload),
+            )
+        else:
+            self.runtime.deliver(src, dst, payload)
 
-    def connection_down(self, server_pid: ProcessId) -> None:
-        """A server link died: sends to it become drops (crash model)."""
+    def connection_down(
+        self, server_pid: ProcessId, conn: Optional[PoolConnection] = None
+    ) -> None:
+        """A server link died: sends to it drop until a reconnect wins."""
+        current = self._conns.get(server_pid)
+        if conn is not None and current is not None and current is not conn:
+            return  # a superseded connection's late death; the live one stays
+        if current is not None:
+            self._conns.pop(server_pid, None)
+            if not self._closed:
+                self.ledger.link_down(server_pid.index, time.monotonic())
         self.runtime.clear_route(server_pid)
-        self._conns.pop(server_pid, None)
+        if self.reconnect_enabled and not self._closed:
+            self._spawn_reconnect(server_pid)
+
+    def _spawn_reconnect(self, pid: ProcessId) -> None:
+        existing = self._reconnect_tasks.get(pid)
+        if existing is not None and not existing.done():
+            return
+        self._reconnect_tasks[pid] = asyncio.get_running_loop().create_task(
+            self._reconnect(pid)
+        )
+
+    async def _reconnect(self, pid: ProcessId) -> None:
+        host, port = self.server_addrs[pid]
+        loop = asyncio.get_running_loop()
+        attempt = 0
+        while not self._closed:
+            await asyncio.sleep(self.backoff.delay(attempt, self._backoff_rng))
+            attempt += 1
+            if self._closed:
+                return
+            try:
+                _, conn = await loop.create_connection(
+                    lambda: PoolConnection(self, pid), host, port
+                )
+            except OSError:
+                self.ledger.connect_failures += 1
+                continue
+            self._install(pid, conn)
+            self.ledger.reconnects += 1
+            return
 
     @property
     def live_servers(self) -> int:
@@ -152,9 +284,28 @@ class ClientPool:
     # operations
 
     def _resolve(self, op: Operation) -> None:
-        waiter = self._waiters.pop(op.proc, None)
+        self._inflight.pop(op.op_id, None)
+        waiter = self._waiters.get(op.proc)
         if waiter is not None and not waiter.done():
             waiter.set_result(op)
+
+    def _retransmit(self, op_id: int) -> None:
+        """Re-send an in-flight op's recorded frames to live servers.
+
+        Bypasses the runtime's ``emit`` on purpose: a retransmission is
+        transport-level repair, not a new communication phase.
+        """
+        frames = self._inflight.get(op_id)
+        if not frames:
+            return
+        sent = 0
+        for dst, frame in list(frames):
+            conn = self._conns.get(dst)
+            if conn is not None:
+                self._send(conn, dst, frame)
+                sent += 1
+        if sent:
+            self.ledger.retransmits += 1
 
     async def run_op(
         self,
@@ -167,17 +318,65 @@ class ClientPool:
 
         The operation completes when enough servers replied for the
         automaton to decide — the ``S - t`` quorum logic is the
-        automaton's own, identical to the simulated runs.
+        automaton's own, identical to the simulated runs.  While the
+        operation is pending its frames are retransmitted every
+        ``retry_interval`` seconds (lossy links).  On timeout the
+        operation is abandoned (kept in the history as incomplete), the
+        waiter is cleaned up, and ``pid`` is immediately reusable.
         """
         if pid in self._waiters:
             raise SimulationError(f"{pid} already has an operation in flight")
         waiter = asyncio.get_running_loop().create_future()
         self._waiters[pid] = waiter
+        op: Optional[Operation] = None
+        started = time.monotonic()
         try:
-            self.runtime.invoke(pid, kind, value)
-        except BaseException:
-            self._waiters.pop(pid, None)
+            self._recording = []
+            try:
+                op = self.runtime.invoke(pid, kind, value)
+                self._inflight[op.op_id] = self._recording
+            finally:
+                self._recording = None
+            result = await self._await_response(waiter, op.op_id, timeout)
+            self.ledger.op_completed(time.monotonic() - started)
+            return result
+        except asyncio.TimeoutError:
+            if op is not None:
+                self.runtime.abandon(pid)
+                self.ledger.op_timed_out()
             raise
-        if timeout is None:
+        except asyncio.CancelledError:
+            if op is not None:
+                self.runtime.abandon(pid)
+            raise
+        finally:
+            if op is not None:
+                self._inflight.pop(op.op_id, None)
+            leaked = self._waiters.pop(pid, None)
+            if leaked is not None and not leaked.done():
+                leaked.cancel()
+
+    async def _await_response(
+        self, waiter: asyncio.Future, op_id: int, timeout: Optional[float]
+    ) -> Operation:
+        interval = self.retry_interval
+        if timeout is None and not interval:
             return await waiter
-        return await asyncio.wait_for(waiter, timeout)
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            if deadline is None:
+                step: Optional[float] = interval
+            else:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError()
+                step = min(interval, remaining) if interval else remaining
+            try:
+                return await asyncio.wait_for(asyncio.shield(waiter), step)
+            except asyncio.TimeoutError:
+                if waiter.done() and not waiter.cancelled():
+                    return waiter.result()
+                if deadline is not None and loop.time() >= deadline:
+                    raise
+                self._retransmit(op_id)

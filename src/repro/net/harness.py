@@ -13,16 +13,26 @@ Two levels:
   result shaped like the simulator's
   :class:`~repro.workloads.runner.RunResult`, so tests can assert the
   two runtimes reach the same verdicts on the same protocol.
+
+Fault machinery on top (see :mod:`repro.net.chaos`): a spawned cluster
+can :meth:`~ServerCluster.restart_server` a killed member — fresh-state,
+same port: the crash model's adversary handing back a
+recovered-but-amnesiac replica — and :class:`ChaosEventDriver` executes
+a :class:`~repro.net.chaos.FaultPlan`'s timed kill/restart events
+against a live cluster while a load run is in flight.
 """
 
 from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.net.chaos import ChaosInjector, FaultPlan
 from repro.net.client import ClientPool
 from repro.net.runtime import AsyncRuntime
 from repro.net.server import NetServer, build_net_cluster, start_servers
@@ -75,9 +85,13 @@ class ServerCluster:
         self,
         processes: List[multiprocessing.Process],
         addresses: List[Tuple[str, int]],
+        spawn_args: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.processes = processes
         self.addresses = addresses
+        # Everything needed to respawn a member on its original port
+        # (restart_server); None for hand-built clusters.
+        self._spawn_args = spawn_args
 
     @classmethod
     def spawn(
@@ -129,7 +143,20 @@ class ServerCluster:
         finally:
             for recv in pipes:
                 recv.close()
-        return cls(processes, addresses)
+        return cls(
+            processes,
+            addresses,
+            spawn_args={
+                "protocol": protocol,
+                "config": config,
+                "host": host,
+                "seed": seed,
+                "serializer": serializer,
+                "enforce": enforce,
+                "start_timeout": start_timeout,
+                "mp_context": mp_context,
+            },
+        )
 
     def kill_server(self, index: int) -> None:
         """Hard-kill server ``s<index>`` (1-based): the crash fault."""
@@ -137,6 +164,55 @@ class ServerCluster:
         if proc.is_alive():
             proc.kill()
             proc.join(timeout=10.0)
+
+    def restart_server(self, index: int) -> None:
+        """Respawn server ``s<index>`` fresh-state on its original port.
+
+        The crash model's recovery fault: the replica comes back
+        *amnesiac* (register state reinitialised to ⊥/INITIAL) but at
+        the same address, so clients' reconnect loops find it without
+        any membership change.  Kills the old process first if it is
+        somehow still alive.
+        """
+        if self._spawn_args is None:
+            raise SimulationError(
+                "this cluster was not created by ServerCluster.spawn; "
+                "restart_server has no spawn recipe to reuse"
+            )
+        self.kill_server(index)
+        args = self._spawn_args
+        host, port = self.addresses[index - 1]
+        ctx = multiprocessing.get_context(
+            args["mp_context"] or default_mp_context()
+        )
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_server_entry,
+            args=(
+                args["protocol"], args["config"], index, host, port,
+                args["seed"], args["serializer"], args["enforce"], send,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        send.close()
+        try:
+            if not recv.poll(args["start_timeout"]):
+                proc.terminate()
+                raise SimulationError(
+                    f"restarted server s{index} did not report a port within "
+                    f"{args['start_timeout']}s"
+                )
+            reported = recv.recv()
+        finally:
+            recv.close()
+        if reported != port:  # pragma: no cover - port stolen meanwhile
+            proc.terminate()
+            raise SimulationError(
+                f"restarted server s{index} bound port {reported}, "
+                f"expected {port}"
+            )
+        self.processes[index - 1] = proc
 
     def stop(self) -> None:
         for proc in self.processes:
@@ -159,6 +235,73 @@ class ServerCluster:
         self.stop()
 
 
+class ChaosEventDriver:
+    """Execute a fault plan's timed kill/restart events on a cluster.
+
+    Timer threads fire :meth:`ServerCluster.kill_server` /
+    :meth:`~ServerCluster.restart_server` at each event's offset from
+    :meth:`start` — wall-clock side effects on OS processes, deliberately
+    outside the replayable decision streams (the *plan* is the replay
+    artifact; ``executed`` records what actually happened and when).
+    """
+
+    def __init__(self, cluster: ServerCluster, plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.executed: List[Dict[str, Any]] = []
+        self._timers: List[threading.Timer] = []
+        self._origin: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        self._origin = time.monotonic()
+        for event in self.plan.events:
+            kill = threading.Timer(
+                event.kill_at, self._run, args=("kill", event.server)
+            )
+            kill.daemon = True
+            self._timers.append(kill)
+            if event.restart_at is not None:
+                restart = threading.Timer(
+                    event.restart_at, self._run, args=("restart", event.server)
+                )
+                restart.daemon = True
+                self._timers.append(restart)
+        for timer in self._timers:
+            timer.start()
+
+    def _run(self, action: str, index: int) -> None:
+        record: Dict[str, Any] = {"action": action, "server": index}
+        try:
+            with self._lock:
+                if action == "kill":
+                    self.cluster.kill_server(index)
+                else:
+                    self.cluster.restart_server(index)
+            record["ok"] = True
+        except Exception as exc:  # pragma: no cover - e.g. respawn race
+            record["ok"] = False
+            record["error"] = str(exc)
+        record["at"] = (
+            0.0 if self._origin is None else time.monotonic() - self._origin
+        )
+        self.executed.append(record)
+
+    def stop(self) -> None:
+        """Cancel pending timers and wait out any in-flight action."""
+        for timer in self._timers:
+            timer.cancel()
+        with self._lock:
+            pass
+
+    def __enter__(self) -> "ChaosEventDriver":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
 # ----------------------------------------------------------------------
 # in-process workload runner (parity tests)
 
@@ -173,6 +316,8 @@ class NetRunResult:
     rounds_of: Dict[int, int]
     runtime: AsyncRuntime
     validator: Optional[HistoryValidator] = field(default=None, repr=False)
+    ledger: Optional[Dict[str, Any]] = None
+    chaos: Optional[ChaosInjector] = field(default=None, repr=False)
 
     @property
     def validation(self) -> HistoryValidator:
@@ -240,19 +385,32 @@ async def _run_net_workload(
     crash: Optional[Tuple[int, int]],
     op_timeout: float,
     pace: float,
+    chaos_plan: Optional[FaultPlan],
+    chaos_side: str,
 ) -> NetRunResult:
     servers = await start_servers(
-        protocol, config, seed=seed, serializer=serializer, enforce=enforce
+        protocol,
+        config,
+        seed=seed,
+        serializer=serializer,
+        enforce=enforce,
+        chaos_plan=chaos_plan if chaos_side == "server" else None,
     )
     try:
         addrs = {
             pid: server.address
             for pid, server in zip(config.server_ids, servers)
         }
+        injector = (
+            ChaosInjector(chaos_plan, side="client", shard=0)
+            if chaos_plan is not None and chaos_side == "client"
+            else None
+        )
         pool = ClientPool(
             addrs,
             seed=derive_seed(seed, "net-inproc") % 2**32,
             serializer=serializer,
+            chaos=injector,
         )
         cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
         pool.add_clients([*cluster.readers, *cluster.writers])
@@ -283,6 +441,8 @@ async def _run_net_workload(
             history=pool.runtime.history,
             rounds_of=dict(pool.runtime.rounds_of),
             runtime=pool.runtime,
+            ledger=pool.ledger.to_dict(),
+            chaos=injector,
         )
     finally:
         for server in servers:
@@ -300,6 +460,8 @@ def run_net_workload(
     crash: Optional[Tuple[int, int]] = None,
     op_timeout: float = 15.0,
     pace: float = 0.001,
+    chaos_plan: Optional[FaultPlan] = None,
+    chaos_side: str = "client",
 ) -> NetRunResult:
     """Run one closed-loop workload entirely over localhost sockets.
 
@@ -308,11 +470,15 @@ def run_net_workload(
     ``crash=(i, n)`` stops server ``s<i>`` after the ``n``-th operation
     response — the crash-mid-connection scenario (clients must still
     terminate as long as ``S - t`` servers survive and ``i`` is within
-    the failure budget).
+    the failure budget).  ``chaos_plan`` injects wire-level faults,
+    either at the pool (``chaos_side="client"``, decisions recorded in
+    the returned result's ``chaos`` injector) or at every server
+    (``chaos_side="server"``).
     """
     return asyncio.run(
         _run_net_workload(
             protocol, config, reads_per_reader, writes_per_writer,
             seed, serializer, enforce, crash, op_timeout, pace,
+            chaos_plan, chaos_side,
         )
     )

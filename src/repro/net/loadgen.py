@@ -31,13 +31,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import LatencyHistogram
 from repro.errors import ConfigurationError
+from repro.net.chaos import ChaosInjector, DegradationLedger, FaultPlan
 from repro.net.client import ClientPool
 from repro.net.server import build_net_cluster
 from repro.registers.base import ClusterConfig
 from repro.registers.registry import get_protocol
 from repro.sim.batch import map_parallel
 from repro.sim.rng import derive_seed, substream
-from repro.spec.histories import History, Operation, parse_pid
+from repro.spec.histories import BOTTOM, History, Operation, parse_pid
 from repro.spec.online import validate_history
 
 #: Hard cap on in-flight *invocations* per shard; one pending operation
@@ -73,6 +74,13 @@ class LoadSpec:
             picks automatically: enough to keep the start storm near
             :data:`RAMP_RATE` clients/s, so a hundred-thousand-client
             run does not enqueue every first operation at once.
+        chaos: optional :class:`~repro.net.chaos.FaultPlan` executed by
+            a per-shard client-side injector (validated against the
+            declared ``t`` budget unless the plan opts out).
+        slow_threshold: ledger boundary between a *fast* and a *slow*
+            completed operation, in seconds.
+        retry_interval: in-flight frame retransmission cadence of each
+            shard's pool (lossy links), in seconds; ``0`` disables.
     """
 
     protocol: str
@@ -89,6 +97,9 @@ class LoadSpec:
     serializer: Optional[str] = None
     timeout: float = DEFAULT_OP_TIMEOUT
     ramp: Optional[float] = None
+    chaos: Optional[FaultPlan] = None
+    slow_threshold: float = 1.0
+    retry_interval: float = 0.5
 
     def __post_init__(self) -> None:
         if not self.addresses:
@@ -99,6 +110,9 @@ class LoadSpec:
             )
         if self.readers < 1:
             raise ConfigurationError("need at least one virtual reader")
+        if self.chaos is not None:
+            # A plan may not silently exceed the declared fault model.
+            self.chaos.validate(self.config)
 
     @property
     def config(self) -> ClusterConfig:
@@ -189,11 +203,19 @@ async def _shard_main(shard: ShardSpec) -> Dict[str, Any]:
         spec.protocol, config, seed=spec.seed, enforce=False
     )
     server_addrs = dict(zip(config.server_ids, spec.addresses))
+    injector = (
+        ChaosInjector(spec.chaos, side="client", shard=shard.index)
+        if spec.chaos is not None
+        else None
+    )
     pool = ClientPool(
         server_addrs,
         seed=derive_seed(spec.seed, "net-shard", shard.index) % 2**32,
         origin=shard.origin,
         serializer=spec.serializer,
+        chaos=injector,
+        ledger=DegradationLedger(slow_threshold=spec.slow_threshold),
+        retry_interval=spec.retry_interval,
     )
     readers = cluster.readers[shard.index :: spec.shards]
     writers = cluster.writers if shard.index == 0 else []
@@ -238,6 +260,8 @@ async def _shard_main(shard: ShardSpec) -> Dict[str, Any]:
         "ops": ops,
         "dropped": runtime.dropped_unroutable,
         "live_servers": pool.live_servers,
+        "ledger": pool.ledger.to_dict(),
+        "chaos": None if injector is None else injector.to_dict(),
     }
 
 
@@ -260,6 +284,13 @@ class LoadReport:
     dropped: int
     verdicts: Dict[str, Optional[bool]] = field(default_factory=dict)
     sim_check: Optional[Dict[str, Any]] = None
+    #: Merged degradation ledger across shards (always present).
+    degradation: Optional[Dict[str, Any]] = None
+    #: Per-shard chaos injector records (counters, digests, stats).
+    chaos_shards: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    #: Pre-window register value the judge treated as the legal initial
+    #: value (``--connect`` against a long-lived cluster), if any.
+    window_initial: Any = None
 
     @property
     def ops_complete(self) -> int:
@@ -331,7 +362,42 @@ class LoadReport:
             },
             "verdicts": self.verdicts,
             "sim_check": self.sim_check,
+            "degradation": self.degradation,
+            "window_initial_value": self.window_initial,
+            "chaos": {
+                str(index): {
+                    "digest": record.get("digest"),
+                    "stats": record.get("stats"),
+                }
+                for index, record in sorted(self.chaos_shards.items())
+            }
+            or None,
         }
+
+
+def _window_initial(rows: List[Tuple]) -> Any:
+    """The single pre-window value observed, if the run saw exactly one.
+
+    Judging a load window against an *already-running* cluster means the
+    register may hold a value no window writer wrote.  Reads returning
+    it are not violations — it is the window's legal initial value.  If
+    the completed reads return exactly one value that is neither ``⊥``
+    nor any value written during the window, that value is it; with two
+    or more such values something is genuinely wrong and the judge must
+    see them untouched.
+    """
+    written = {row[2] for row in rows if row[1] == "write"}
+    foreign = {
+        row[3]
+        for row in rows
+        if row[1] == "read"
+        and row[5] is not None
+        and row[3] != BOTTOM
+        and row[3] not in written
+    }
+    if len(foreign) == 1:
+        return next(iter(foreign))
+    return None
 
 
 def merge_shard_results(
@@ -341,18 +407,33 @@ def merge_shard_results(
     rows: List[Tuple] = []
     clients = 0
     dropped = 0
+    ledgers: List[Dict[str, Any]] = []
+    chaos_shards: Dict[int, Dict[str, Any]] = {}
     for result in results:
         rows.extend(result["ops"])
         clients += result["clients"]
         dropped += result["dropped"]
+        if result.get("ledger") is not None:
+            ledgers.append(result["ledger"])
+        if result.get("chaos") is not None:
+            chaos_shards[result["shard"]] = result["chaos"]
     # One global invocation order; ties broken by process name so the
     # merge is deterministic for identical inputs.
     rows.sort(key=lambda row: (row[4], row[0]))
+    # Window-relative judging: reads of the one pre-window value are
+    # reads of the window's initial value (rendered as ⊥ for the judge).
+    window_initial = _window_initial(rows)
     operations = []
     rounds_of: Dict[int, int] = {}
     read_hist, write_hist = LatencyHistogram(), LatencyHistogram()
     for op_id, row in enumerate(rows, start=1):
         proc, kind, value, result, invoked_at, responded_at, rounds = row
+        if (
+            window_initial is not None
+            and kind == "read"
+            and result == window_initial
+        ):
+            result = BOTTOM
         op = Operation(
             op_id=op_id,
             proc=parse_pid(proc),
@@ -385,6 +466,9 @@ def merge_shard_results(
         clients=clients,
         duration=duration,
         dropped=dropped,
+        degradation=DegradationLedger.merge(ledgers) if ledgers else None,
+        chaos_shards=chaos_shards,
+        window_initial=window_initial,
     )
     proto = get_protocol(spec.protocol)
     validator = validate_history(history, swmr=spec.writers <= 1)

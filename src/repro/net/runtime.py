@@ -172,6 +172,24 @@ class AsyncRuntime(Runtime):
             self._burst_seen = saved
         return op
 
+    def abandon(self, pid: ProcessId) -> Optional[Operation]:
+        """Abandon ``pid``'s in-flight operation after a client timeout.
+
+        The operation stays in the history as incomplete, its phase
+        accounting is discarded, and the automaton is reset so that a
+        straggler server reply arriving later is ignored by the
+        automaton's own op-id matching instead of tripping the
+        one-op-per-process invariant.
+        """
+        op = self.history.abandon(pid)
+        if op is None:
+            return None
+        self._op_phases.pop(op.op_id, None)
+        client = self.processes.get(pid)
+        if isinstance(client, ClientProcess):
+            client.operation_completed()
+        return op
+
     def on_response(self, callback: Callable[[Operation], None]) -> None:
         self._on_response.append(callback)
 

@@ -25,6 +25,7 @@ import asyncio
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.net.chaos import ChaosInjector, FaultPlan
 from repro.net.codec import Codec, FrameBuffer, get_codec
 from repro.net.runtime import AsyncRuntime
 from repro.registers.base import Cluster, ClusterConfig
@@ -109,6 +110,13 @@ class NetServer:
         enforce: set ``False`` to skip the protocol feasibility check —
             the load harness runs far more readers than the fast
             protocols' thresholds allow.
+        chaos: optional :class:`~repro.net.chaos.ChaosInjector` applied
+            to this server's own link (inbound ``recv`` before dispatch,
+            outbound ``send`` before the socket write).  Server-side
+            injection mirrors the client-side interceptor for
+            single-process deployments and tests; spawned clusters
+            normally leave chaos to the clients so the recorded
+            decision streams all live in collectable shard records.
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class NetServer:
         seed: int = 0,
         serializer: Optional[str] = None,
         enforce: bool = True,
+        chaos: Optional[ChaosInjector] = None,
     ) -> None:
         cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
         self.protocol = protocol
@@ -133,6 +142,7 @@ class NetServer:
         self.runtime = AsyncRuntime(seed=seed)
         self.runtime.add_process(self.automaton)
         self.runtime.set_default_route(self._route_out)
+        self.chaos = chaos
         self.connections: Set[ServerConnection] = set()
         self._client_conns: Dict[ProcessId, ServerConnection] = {}
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
@@ -148,6 +158,8 @@ class NetServer:
             lambda: ServerConnection(self), self.host, self.port
         )
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        if self.chaos is not None:
+            self.chaos.start()
 
     async def stop(self) -> None:
         if self._asyncio_server is not None:
@@ -177,13 +189,33 @@ class NetServer:
             conn.claimed.add(src)
             self._client_conns[src] = conn
             self.runtime.set_route(src, self._route_out)
-        self.runtime.deliver(src, dst, payload)
+        if self.chaos is not None:
+            self.chaos.apply(
+                self.pid.index,
+                "recv",
+                lambda: self.runtime.deliver(src, dst, payload),
+            )
+        else:
+            self.runtime.deliver(src, dst, payload)
 
     def _route_out(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
         conn = self._client_conns.get(dst)
         if conn is None:
             return  # client vanished between request and reply
-        conn.send_frame(self.codec.encode_frame(src, dst, payload))
+        frame = self.codec.encode_frame(src, dst, payload)
+        if self.chaos is not None:
+            self.chaos.apply(
+                self.pid.index, "send", lambda: self._deliver_out(dst, frame)
+            )
+        else:
+            conn.send_frame(frame)
+
+    def _deliver_out(self, dst: ProcessId, frame: bytes) -> None:
+        # Resolved at fire time: a delayed reply goes to the client's
+        # *current* connection (or nowhere, if it vanished meanwhile).
+        conn = self._client_conns.get(dst)
+        if conn is not None:
+            conn.send_frame(frame)
 
     def forget_connection(self, conn: ServerConnection) -> None:
         self.connections.discard(conn)
@@ -205,11 +237,13 @@ async def start_servers(
     seed: int = 0,
     serializer: Optional[str] = None,
     enforce: bool = True,
+    chaos_plan: Optional[FaultPlan] = None,
 ) -> "list[NetServer]":
     """Start all ``S`` servers of one cluster in this event loop.
 
     With ``base_port=0`` each server binds an ephemeral port; otherwise
-    server ``s<i>`` listens on ``base_port + i - 1``.
+    server ``s<i>`` listens on ``base_port + i - 1``.  A ``chaos_plan``
+    installs one server-side injector per server (shard = server index).
     """
     servers = []
     for index in range(1, config.S + 1):
@@ -223,6 +257,11 @@ async def start_servers(
             seed=seed,
             serializer=serializer,
             enforce=enforce,
+            chaos=(
+                None
+                if chaos_plan is None
+                else ChaosInjector(chaos_plan, side="server", shard=index)
+            ),
         )
         await server.start()
         servers.append(server)

@@ -189,6 +189,18 @@ class History:
     def pending_of(self, proc: ProcessId) -> Optional[Operation]:
         return self._pending.get(proc)
 
+    def abandon(self, proc: ProcessId) -> Optional[Operation]:
+        """Give up on ``proc``'s pending operation without completing it.
+
+        The operation stays in the log as an *incomplete* operation (the
+        model's term for an op whose process may have crashed mid-call);
+        ``proc`` becomes free to invoke again.  This is how a networked
+        client that timed out an operation cleanly re-enters the
+        one-op-per-process discipline.  Returns the abandoned operation,
+        or ``None`` if nothing was pending.
+        """
+        return self._pending.pop(proc, None)
+
     # ------------------------------------------------------------------
     # undo hooks (the scripted runtime's journal; see sim.controller)
 

@@ -5,7 +5,6 @@ import os
 import signal
 import subprocess
 import sys
-import time
 
 import pytest
 
@@ -75,6 +74,107 @@ class TestLoadCommand:
         )
         assert code == 2
         assert "maxmin" in capsys.readouterr().err
+
+
+class TestChaosCommands:
+    def test_seeded_chaos_run_and_replay(self, capsys, tmp_path):
+        run_file = tmp_path / "chaos_run.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "4",
+                "--ops", "2",
+                "--workers", "1",
+                "--write-interval", "0.02",
+                "--timeout", "20",
+                "--chaos", "seed:21",
+                "--chaos-out", str(run_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "chaos plan:" in captured.err
+        assert "chaos" in captured.out
+        assert "degradation" in captured.out
+        record = json.loads(run_file.read_text())
+        assert record["format"] == "repro-chaos-run/v1"
+        assert record["within_budget"] is True
+        assert record["plan"]["seed"] == 21
+
+        code = main(["chaos-replay", str(run_file)])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "byte-identical fault trace" in captured.out
+
+    def test_beyond_budget_chaos_degrades_gracefully(self, capsys, tmp_path):
+        run_file = tmp_path / "beyond_run.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "2",
+                "--ops", "1",
+                "--workers", "1",
+                "--write-interval", "0.02",
+                "--timeout", "1.0",
+                "--chaos", "seed:9:beyond",
+                "--chaos-out", str(run_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 4, captured.err
+        assert "degraded gracefully" in captured.err
+        record = json.loads(run_file.read_text())
+        assert record["within_budget"] is False
+        assert record["summary"]["ops_incomplete"] > 0
+        # Even the beyond-budget trace replays byte-identically.
+        assert main(["chaos-replay", str(run_file)]) == 0
+        capsys.readouterr()
+
+    def test_bad_chaos_spec_exits_2(self, capsys):
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--clients", "2",
+                "--chaos", "seed:not-a-number",
+            ]
+        )
+        assert code == 2
+        assert "chaos" in capsys.readouterr().err.lower()
+
+    def test_replay_of_tampered_record_exits_1(self, capsys, tmp_path):
+        run_file = tmp_path / "run.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "2",
+                "--ops", "1",
+                "--workers", "1",
+                "--write-interval", "0.02",
+                "--timeout", "20",
+                "--chaos", "seed:5",
+                "--chaos-out", str(run_file),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        record = json.loads(run_file.read_text())
+        shard = next(iter(record["shards"].values()))
+        key = next(iter(shard["counters"]))
+        shard["counters"][key] += 7
+        run_file.write_text(json.dumps(record))
+        assert main(["chaos-replay", str(run_file)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
 
 
 class TestServeCommand:
