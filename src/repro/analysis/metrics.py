@@ -220,6 +220,24 @@ class LatencyHistogram:
         }
 
 
+def merge_rounds_histograms(
+    parts: Sequence[Dict[str, Dict[int, int]]],
+) -> Dict[str, Dict[int, int]]:
+    """Merge per-run round-count histograms ``{kind: {rounds: count}}``.
+
+    Counts are integers, so unlike :func:`merge_summaries` this merge is
+    exact; the vectorized sweep kernel uses it to aggregate per-batch
+    round verdicts into sweep-level histograms.
+    """
+    out: Dict[str, Dict[int, int]] = {}
+    for part in parts:
+        for kind, hist in part.items():
+            bucket = out.setdefault(kind, {})
+            for rounds, count in hist.items():
+                bucket[rounds] = bucket.get(rounds, 0) + count
+    return out
+
+
 def merge_summaries(parts: Sequence[LatencySummary]) -> LatencySummary:
     """Combine per-run summaries into one aggregate.
 

@@ -86,6 +86,44 @@ def render_explore_stats(result) -> str:
     return "\n".join(lines)
 
 
+def render_vector_stats(result) -> str:
+    """Engine summary of one vectorized sweep (CLI + CI logs).
+
+    Takes a :class:`repro.sim.vector.VectorSweepResult`; duck-typed like
+    :func:`render_explore_stats` so every surface renders the same
+    numbers.  This is diagnostic stderr output — the sweep table itself
+    comes from the shared :class:`~repro.sim.batch.BatchResult` path and
+    stays byte-identical to a scalar sweep.
+    """
+    total = result.vectorized_runs + result.fallback_runs
+    lines = [
+        f"engine        : vector kernel — {result.vectorized_runs}/{total} "
+        f"runs in {len(result.batches)} lockstep batch(es), "
+        f"{result.fallback_runs} via the scalar engine",
+        f"oracle        : {result.oracle_sampled} run(s) replayed through "
+        "the scalar engine, all bit-exact",
+    ]
+    rounds = result.rounds
+    if rounds:
+        parts = [
+            f"{kind} {n} round(s): {count}"
+            for kind in sorted(rounds)
+            for n, count in sorted(rounds[kind].items())
+        ]
+        lines.append(f"rounds        : {'  '.join(parts)}")
+    checked = [b.atomic_ok for b in result.batches if b.atomic_ok is not None]
+    if checked:
+        verdict = "ok" if all(checked) else "VIOLATION"
+        fast = sum(b.runs for b in result.batches if b.reads_fast)
+        lines.append(
+            f"verdicts      : atomicity {verdict} over {sum(1 for _ in checked)} "
+            f"batch(es); fast reads in {fast}/{result.vectorized_runs} runs"
+        )
+    for reason, count in sorted(result.fallback_reasons.items()):
+        lines.append(f"fallback      : {count} run(s): {reason}")
+    return "\n".join(lines)
+
+
 def format_seconds(value: float) -> str:
     """Human latency: ``413µs``, ``1.24ms``, ``2.05s``."""
     if value < 1e-3:

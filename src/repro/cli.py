@@ -432,8 +432,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    runner = BatchRunner(specs, parallel=args.parallel)
-    result = runner.run()
+    if args.vector:
+        from repro.analysis.report import render_vector_stats
+        from repro.sim.vector import FALLBACK_NOTICE, run_vector_sweep
+
+        sweep = run_vector_sweep(
+            specs, parallel=args.parallel, oracle_samples=args.oracle_samples
+        )
+        result = sweep.batch
+        # The vector engine's diagnostics are stderr-only: stdout must
+        # be byte-identical to what the scalar sweep prints.
+        print(render_vector_stats(sweep), file=sys.stderr)
+        if sweep.fallback_runs:
+            print(
+                f"{sweep.fallback_runs} run(s) {FALLBACK_NOTICE} "
+                "(reasons above)",
+                file=sys.stderr,
+            )
+    else:
+        runner = BatchRunner(specs, parallel=args.parallel)
+        result = runner.run()
     # Progress/timing go to stderr: stdout must be byte-identical
     # between serial and parallel runs of the same matrix.
     rate = len(specs) / result.elapsed if result.elapsed > 0 else 0.0
@@ -914,6 +932,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip atomicity checking (pure throughput sweeps)",
     )
     swp.add_argument("--max-events", type=int, default=2_000_000)
+    swp.add_argument(
+        "--vector",
+        action="store_true",
+        help="run supported (protocol, scenario) groups through the "
+        "struct-of-arrays lockstep kernel, sampling runs back through "
+        "the scalar engine as a bit-exactness oracle; unsupported "
+        "combinations fall back to the scalar engine per run",
+    )
+    swp.add_argument(
+        "--oracle-samples",
+        type=int,
+        default=2,
+        help="scalar replays per lockstep batch under --vector "
+        "(0 disables the oracle; default 2)",
+    )
     swp.set_defaults(fn=_cmd_sweep)
 
     srv = sub.add_parser(

@@ -24,11 +24,16 @@ from repro.registers.base import (
     StorageServer,
 )
 from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.registers.vectorized import VectorProfile
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context
 from repro.spec.histories import BOTTOM, Operation
 
 PROTOCOL_NAME = "abd"
+
+#: Fixed-round layout for the batch kernel: two-phase reads (query +
+#: write-back), so reads are never fast.
+VECTOR_PROFILE = VectorProfile(read_phases=2, fast_reads=False)
 
 QUERY_PHASE = "query"
 STORE_PHASE = "store"

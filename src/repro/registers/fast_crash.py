@@ -40,11 +40,16 @@ from repro.registers.base import (
 )
 from repro.registers.predicates import seen_predicate
 from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.registers.vectorized import VectorProfile
 from repro.sim.ids import ProcessId, client_index
 from repro.sim.process import Context, Process
 from repro.spec.histories import BOTTOM, Operation
 
 PROTOCOL_NAME = "fast-crash"
+
+#: Fixed-round layout for the batch kernel: one-round reads whose value
+#: is gated by the ``seen``-predicate, one-round writes.
+VECTOR_PROFILE = VectorProfile(predicate_reads=True)
 
 
 def requirement(config: ClusterConfig) -> Optional[str]:

@@ -28,11 +28,16 @@ from repro.registers.base import (
     RegisterClient,
 )
 from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.registers.vectorized import VectorProfile
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context, Process
 from repro.spec.histories import BOTTOM, Operation
 
 PROTOCOL_NAME = "maxmin"
+
+#: Fixed-round layout for the batch kernel: one client round, but the
+#: servers' gossip round adds a message delay and defeats fastness.
+VECTOR_PROFILE = VectorProfile(gossip=True, fast_reads=False)
 
 PoolKey = Tuple[ProcessId, int]
 

@@ -22,6 +22,7 @@ from repro.registers import (
     swsr,
 )
 from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.vectorized import VectorProfile
 
 BuildFn = Callable[..., Cluster]
 RequirementFn = Callable[[ClusterConfig], Optional[str]]
@@ -35,6 +36,11 @@ class ProtocolSpec:
     counts (verified against traces by the fastness checker);
     ``fast_reads``/``fast_writes`` flag conformance to the paper's
     Section 3.2 definition, which also constrains server behaviour.
+
+    ``vector`` is the protocol's fixed-round field layout for the
+    struct-of-arrays batch kernel (:mod:`repro.sim.vector`), or ``None``
+    when the automaton is not fixed-round and batch sweeps must fall
+    back to the scalar engine.
     """
 
     name: str
@@ -48,6 +54,7 @@ class ProtocolSpec:
     atomic: bool
     requirement: RequirementFn
     build: BuildFn
+    vector: Optional[VectorProfile] = None
 
 
 PROTOCOLS: Dict[str, ProtocolSpec] = {
@@ -63,6 +70,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
         atomic=True,
         requirement=fast_crash.requirement,
         build=fast_crash.build_cluster,
+        vector=fast_crash.VECTOR_PROFILE,
     ),
     fast_byzantine.PROTOCOL_NAME: ProtocolSpec(
         name=fast_byzantine.PROTOCOL_NAME,
@@ -89,6 +97,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
         atomic=True,
         requirement=abd.requirement,
         build=abd.build_cluster,
+        vector=abd.VECTOR_PROFILE,
     ),
     maxmin.PROTOCOL_NAME: ProtocolSpec(
         name=maxmin.PROTOCOL_NAME,
@@ -102,6 +111,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
         atomic=True,
         requirement=maxmin.requirement,
         build=maxmin.build_cluster,
+        vector=maxmin.VECTOR_PROFILE,
     ),
     swsr.PROTOCOL_NAME: ProtocolSpec(
         name=swsr.PROTOCOL_NAME,
@@ -115,6 +125,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
         atomic=True,
         requirement=swsr.requirement,
         build=swsr.build_cluster,
+        vector=swsr.VECTOR_PROFILE,
     ),
     regular.PROTOCOL_NAME: ProtocolSpec(
         name=regular.PROTOCOL_NAME,
@@ -128,6 +139,7 @@ PROTOCOLS: Dict[str, ProtocolSpec] = {
         atomic=False,
         requirement=regular.requirement,
         build=regular.build_cluster,
+        vector=regular.VECTOR_PROFILE,
     ),
     semifast.PROTOCOL_NAME: ProtocolSpec(
         name=semifast.PROTOCOL_NAME,

@@ -28,11 +28,15 @@ from repro.registers.base import (
     StorageServer,
 )
 from repro.registers.timestamps import INITIAL_TAG
+from repro.registers.vectorized import VectorProfile
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context
 from repro.spec.histories import Operation
 
 PROTOCOL_NAME = "regular-fast"
+
+#: Fixed-round layout for the batch kernel: stateless one-round reads.
+VECTOR_PROFILE = VectorProfile()
 
 
 def requirement(config: ClusterConfig) -> Optional[str]:

@@ -28,11 +28,16 @@ from repro.registers.base import (
     StorageServer,
 )
 from repro.registers.timestamps import INITIAL_TAG, ValueTag
+from repro.registers.vectorized import VectorProfile
 from repro.sim.ids import ProcessId
 from repro.sim.process import Context
 from repro.spec.histories import Operation
 
 PROTOCOL_NAME = "swsr-fast"
+
+#: Fixed-round layout for the batch kernel: one-round reads with a
+#: monotonic local tag (the tag never changes a crash-free verdict).
+VECTOR_PROFILE = VectorProfile()
 
 
 def requirement(config: ClusterConfig) -> Optional[str]:

@@ -360,17 +360,27 @@ def build_matrix(
     """Cross ``protocols x scenarios x seeds`` into an ordered spec list.
 
     Protocols whose feasibility requirement rejects ``config`` are
-    skipped (with ``skip_infeasible``) rather than failing the whole
-    sweep — a sweep over many protocols at one config is the common
-    shape and thresholds differ per protocol.
+    skipped (with ``skip_infeasible``, the default) rather than failing
+    the whole sweep — a sweep over many protocols at one config is the
+    common shape and thresholds differ per protocol.  With
+    ``skip_infeasible=False`` an infeasible protocol raises
+    :class:`~repro.errors.ConfigurationError` up front instead of
+    producing specs that would only fail (or silently misbehave) once
+    the sweep is already running.
     """
+    from repro.errors import ConfigurationError
     from repro.registers.registry import get_protocol
     from repro.workloads.scenarios import get_scenario
 
     specs: List[SweepSpec] = []
     for protocol in protocols:
         proto_spec = get_protocol(protocol)
-        if proto_spec.requirement(config) is not None and skip_infeasible:
+        problem = proto_spec.requirement(config)
+        if problem is not None:
+            if not skip_infeasible:
+                raise ConfigurationError(
+                    f"protocol {protocol!r} is infeasible for {config}: {problem}"
+                )
             continue
         for scenario in scenarios:
             get_scenario(scenario)  # fail fast on unknown names

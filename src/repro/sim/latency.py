@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -225,13 +226,24 @@ class SlowServerLatency(LatencyModel):
 class VectorLatency(LatencyModel):
     """Numpy-vectorised latency draws — an explicit speed/compat trade.
 
-    Each batch draws from a ``numpy.random.Generator`` seeded off the
-    ``random.Random`` handed in (consuming one 64-bit draw from it), so
-    runs are deterministic per seed and the model instance itself is
-    stateless — safe to share across sweep specs — but the values are
-    **not** the same stream a scalar model would produce.  Use for
-    pure-throughput sweeps where only the distribution matters; never
-    for golden-history comparisons.
+    The first draw against a given ``random.Random`` seeds a
+    ``numpy.random.Generator`` off it (consuming one 64-bit draw) and
+    **caches** it for that ``rng`` object; every later call continues
+    the same numpy stream.  That gives the batch-stream contract the
+    transport relies on: message *i* receives the *i*-th draw of the
+    stream no matter how calls are batched — two size-1 batches return
+    exactly the prefix of one size-2 batch.  Runs are therefore
+    deterministic per seed even as the engine changes its pre-sampling
+    window.  (Earlier revisions re-seeded a fresh generator per call,
+    so the stream silently depended on the batching pattern.)
+
+    The cache is keyed weakly by the ``rng`` object, so the model
+    instance stays shareable across sweep specs without leaking
+    generators, and it is dropped on pickling — a worker process
+    re-seeds from the same ``rng`` state and reproduces the stream.
+    The values are still **not** the stream a scalar model would
+    produce.  Use for pure-throughput sweeps where only the
+    distribution matters; never for golden-history comparisons.
 
     Args:
         kind: ``"uniform"``, ``"exponential"`` or ``"lognormal"``.
@@ -252,12 +264,25 @@ class VectorLatency(LatencyModel):
         self.kind = kind
         self.a = a
         self.b = b
+        self._generators: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    @staticmethod
-    def _gen(rng: random.Random):
-        import numpy as np
+    def _gen(self, rng: random.Random):
+        gen = self._generators.get(rng)
+        if gen is None:
+            import numpy as np
 
-        return np.random.default_rng(rng.getrandbits(64))
+            gen = np.random.default_rng(rng.getrandbits(64))
+            self._generators[rng] = gen
+        return gen
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Generators neither pickle portably nor belong to the model's
+        # identity; a worker re-seeds from the rng it is handed.
+        return {"kind": self.kind, "a": self.a, "b": self.b}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._generators = weakref.WeakKeyDictionary()
 
     def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
         return self.sample_batch(src, dst, rng, 1)[0]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.registers.base import ClusterConfig
 from repro.sim.batch import (
     BatchRunner,
@@ -55,6 +56,23 @@ class TestBuildMatrix:
             seeds=[1],
         )
         assert [s.protocol for s in specs] == ["abd"]
+
+    def test_infeasible_protocol_raises_when_not_skipping(self):
+        tight = ClusterConfig(S=8, t=1, R=8)
+        with pytest.raises(ConfigurationError, match="fast-crash"):
+            build_matrix(
+                protocols=["fast-crash", "abd"],
+                scenarios=["smoke"],
+                config=tight,
+                seeds=[1],
+                skip_infeasible=False,
+            )
+
+    def test_feasible_matrix_identical_under_both_flags(self):
+        kwargs = dict(
+            protocols=["abd"], scenarios=["smoke"], config=CONFIG, seeds=[1, 2]
+        )
+        assert build_matrix(**kwargs, skip_infeasible=False) == build_matrix(**kwargs)
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError):

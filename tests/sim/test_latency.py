@@ -175,6 +175,48 @@ class TestVectorLatency:
         )
         assert first == again == fresh
 
+    def test_batch_splitting_invariant(self):
+        """The batch-stream contract: draw i is the same no matter how
+        the calls are windowed, because the numpy generator is seeded
+        once per rng object and then continues its stream."""
+        from repro.sim.latency import VectorLatency
+
+        model = VectorLatency("lognormal", 1.0, 0.5)
+        rng = random.Random(11)
+        split = []
+        for n in (1, 1, 3, 5):
+            split.extend(model.sample_batch(reader(1), server(1), rng, n))
+        whole = VectorLatency("lognormal", 1.0, 0.5).sample_batch(
+            reader(1), server(1), random.Random(11), 10
+        )
+        assert split == whole
+
+    def test_generator_cached_per_rng_object(self):
+        """Repeated calls against one rng must not re-seed: a fresh
+        generator per call would replay the seeding draw and make the
+        stream depend on the batching pattern."""
+        from repro.sim.latency import VectorLatency
+
+        model = VectorLatency("uniform", 0.5, 1.5)
+        rng = random.Random(5)
+        first = model.sample_batch(reader(1), server(1), rng, 4)
+        second = model.sample_batch(reader(1), server(1), rng, 4)
+        assert first != second  # the stream advances instead of restarting
+        assert len(model._generators) == 1
+
+    def test_pickle_roundtrip_drops_cache_and_reproduces(self):
+        import pickle
+
+        from repro.sim.latency import VectorLatency
+
+        model = VectorLatency("exponential", 1.0, 0.05)
+        model.sample(reader(1), server(1), random.Random(9))  # populate cache
+        clone = pickle.loads(pickle.dumps(model))
+        assert len(clone._generators) == 0
+        assert clone.sample_batch(reader(1), server(1), random.Random(9), 8) == (
+            model.sample_batch(reader(1), server(1), random.Random(9), 8)
+        )
+
     def test_rejects_unknown_kind(self):
         from repro.sim.latency import VectorLatency
 
