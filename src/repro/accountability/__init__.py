@@ -1,0 +1,48 @@
+"""Accountability layer: signed statements and fraud proofs.
+
+Turns "Byzantine-tolerant" into "Byzantine-accountable": servers sign
+every reply as a canonical statement, clients retain verified
+statements in a :class:`TranscriptLog`, and :func:`audit` extracts an
+accountability certificate — two signed, mutually contradictory
+replies — naming a corrupted server from any provable equivocation.
+:func:`verify_fraud_proof` re-checks a serialized certificate from its
+JSON alone.
+"""
+
+from repro.accountability.auditor import (
+    DUPLICATE_SEQ,
+    FRAUD_PROOF_FORMAT,
+    TAG_REGRESSION,
+    FraudProof,
+    audit,
+    audit_all,
+    contradiction_kind,
+    verify_fraud_proof,
+)
+from repro.accountability.recorder import StatementRecorder
+from repro.accountability.statements import (
+    STATEMENT_DOMAIN,
+    SignedStatement,
+    TranscriptLog,
+    reply_claims,
+    sign_statement,
+    verify_statement,
+)
+
+__all__ = [
+    "DUPLICATE_SEQ",
+    "FRAUD_PROOF_FORMAT",
+    "STATEMENT_DOMAIN",
+    "TAG_REGRESSION",
+    "FraudProof",
+    "SignedStatement",
+    "StatementRecorder",
+    "TranscriptLog",
+    "audit",
+    "audit_all",
+    "contradiction_kind",
+    "reply_claims",
+    "sign_statement",
+    "verify_fraud_proof",
+    "verify_statement",
+]

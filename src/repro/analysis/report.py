@@ -80,6 +80,15 @@ def render_explore_stats(result) -> str:
         f"violations    : {stats.violations} found, "
         f"{len(result.counterexamples)} distinct counterexample(s) kept",
     ]
+    # Accountability verdicts exist only when the adversary could lie;
+    # keep crash-only output byte-stable by gating on the budget.
+    if byzantine_budget:
+        fraud = getattr(stats, "fraud_proofs", 0)
+        gaps = getattr(stats, "detectability_gaps", 0)
+        lines.append(
+            f"accountability: {fraud} violation(s) with a fraud-proof "
+            f"certificate, {gaps} detectability gap(s)"
+        )
     problem = scenario.resolve().requirement(config)
     if problem is not None:
         lines.append(f"note          : beyond the feasible region ({problem})")
@@ -191,6 +200,16 @@ def render_load_report(report) -> str:
         for name, ok in sorted(report.verdicts.items())
     )
     lines.append(f"verdicts      : {verdicts}")
+    accountability = getattr(report, "accountability", None)
+    if accountability is not None:
+        accused = accountability.get("accused") or []
+        lines.append(
+            f"accountability: {accountability.get('statements', 0)} signed "
+            f"statements collected "
+            f"({accountability.get('rejected', 0)} rejected), "
+            f"{len(accountability.get('accusations', []))} accusation(s)"
+            + (f" — accused: {', '.join(accused)}" if accused else "")
+        )
     if getattr(report, "window_initial", None) is not None:
         lines.append(
             f"window judge  : pre-window value {report.window_initial!r} "

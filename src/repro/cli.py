@@ -486,6 +486,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 serializer=args.serializer,
                 enforce=not args.no_enforce,
+                accountable=args.accountable,
             )
             await server.start()
             servers = [server]
@@ -498,6 +499,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 serializer=args.serializer,
                 enforce=not args.no_enforce,
+                accountable=args.accountable,
             )
         for server in servers:
             print(f"{server.pid} listening on {server.host}:{server.port}")
@@ -595,8 +597,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 serializer=args.serializer,
                 enforce=False,
+                accountable=args.audit,
             )
             addresses = cluster.addresses
+        if args.audit and args.connect:
+            print(
+                "note: --audit with --connect collects statements only if "
+                "the remote servers run with `serve --accountable` and the "
+                "same --seed",
+                file=sys.stderr,
+            )
         if args.chaos:
             plan = _parse_chaos(args.chaos, len(addresses), args.t)
             print(f"chaos plan: {plan_summary(plan)}", file=sys.stderr)
@@ -615,6 +625,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             ramp=args.ramp,
             chaos=plan,
+            audit=args.audit,
         )
         from repro.registers.registry import get_protocol
 
@@ -666,6 +677,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 "fast_read_fraction": report.fast_read_fraction,
                 "verdicts": report.verdicts,
                 "degradation": report.degradation,
+                "accountability": report.accountability,
             },
         )
         with open(args.chaos_out, "w", encoding="utf-8") as handle:
@@ -701,6 +713,89 @@ def _cmd_load(args: argparse.Namespace) -> int:
         )
         ok = False
     return 0 if ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Verify accountability certificates inside a saved artifact.
+
+    Accepts any artifact family that can carry fraud proofs: a bare
+    ``repro-fraud-proof/v1`` file, a v3 counterexample, a load report,
+    or a chaos run record from an audited run.  Exit codes: 0 every
+    certificate verified (at least one present), 1 a certificate is
+    tampered/unverifiable, 3 the artifact holds no extractable proof
+    (clean run or detectability gap), 2 unreadable/unknown artifact.
+    """
+    import json
+
+    from repro.accountability import (
+        FRAUD_PROOF_FORMAT,
+        FraudProof,
+        verify_fraud_proof,
+    )
+    from repro.errors import ReproError
+    from repro.explore import Counterexample
+
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"audit: cannot load {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+    fmt = data.get("format") if isinstance(data, dict) else None
+    proof_dicts: List = []
+    if fmt == FRAUD_PROOF_FORMAT:
+        proof_dicts = [data]
+    elif fmt in Counterexample.FORMATS:
+        accountability = data.get("accountability")
+        if accountability is None:
+            print(
+                f"audit: {fmt} artifact carries no accountability section "
+                "(pre-v3 schema or un-audited run)"
+            )
+            return 3
+        if accountability.get("proof") is None:
+            print(
+                "audit: detectability gap — the violation contradicts "
+                "nothing the corrupted server signed; no certificate "
+                "extractable"
+            )
+            return 3
+        proof_dicts = [accountability["proof"]]
+    elif fmt == "repro-load-report/v1" or fmt == "repro-chaos-run/v1":
+        source = data if fmt == "repro-load-report/v1" else data.get("summary", {})
+        accountability = (source or {}).get("accountability")
+        if not accountability:
+            print(f"audit: {fmt} artifact was not run with --audit")
+            return 3
+        print(
+            f"statements: {accountability.get('statements', 0)} "
+            f"(rejected {accountability.get('rejected', 0)})"
+        )
+        proof_dicts = list(accountability.get("accusations", []))
+        if not proof_dicts:
+            print("audit: zero accusations — no proof extractable")
+            return 3
+    else:
+        print(
+            f"audit: unrecognized artifact format {fmt!r}; expected a fraud "
+            "proof, counterexample, load report or chaos run record",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for proof_dict in proof_dicts:
+        try:
+            proof = FraudProof.from_dict(proof_dict)
+            ok = verify_fraud_proof(proof_dict)
+        except ReproError as exc:
+            print(f"MALFORMED certificate: {exc}")
+            failures += 1
+            continue
+        status = "VERIFIED" if ok else "TAMPERED"
+        print(f"{status}: {proof.describe()}")
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 def _cmd_chaos_replay(args: argparse.Namespace) -> int:
@@ -979,6 +1074,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the protocol feasibility check (load tests exceed the "
         "fast protocols' reader thresholds on purpose)",
     )
+    srv.add_argument(
+        "--accountable",
+        action="store_true",
+        help="sign every reply and attach the statement to its frame, so "
+        "auditing clients can hold this server accountable",
+    )
     srv.set_defaults(fn=_cmd_serve)
 
     load = sub.add_parser(
@@ -1070,7 +1171,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the serialized plan + per-shard fault-trace digests "
         "(replay-verify with `repro chaos-replay`)",
     )
+    load.add_argument(
+        "--audit",
+        action="store_true",
+        help="turn on the accountability overlay: spawned servers sign "
+        "every reply, shards collect verified statements, and the merged "
+        "transcript is audited for equivocation (with --connect the "
+        "servers must have been started with `serve --accountable`)",
+    )
     load.set_defaults(fn=_cmd_load)
+
+    aud = sub.add_parser(
+        "audit",
+        help="verify the accountability certificates inside a saved "
+        "artifact (fraud proof, counterexample, load report or chaos run "
+        "record)",
+    )
+    aud.add_argument(
+        "artifact",
+        help="JSON artifact to audit; exit 0 = every certificate verified, "
+        "1 = tampered, 3 = no proof extractable",
+    )
+    aud.set_defaults(fn=_cmd_audit)
 
     replay = sub.add_parser(
         "chaos-replay",

@@ -30,24 +30,47 @@ from repro.sim.ids import ProcessId
 
 
 def _canonical(data: Any) -> bytes:
-    """Stable byte encoding of signable payloads.
+    """Stable, injective byte encoding of signable payloads.
 
-    Supports the tuples/ints/strings the register protocols sign.  A
-    canonical form matters: two equal payloads must produce equal bytes.
+    Two properties matter for a signing encoder:
+
+    * **determinism** — equal payloads must produce equal bytes
+      (frozensets and dicts are encoded in sorted element order); and
+    * **injectivity** — distinct payloads must never produce equal
+      bytes, or a signature over one value would verify for another.
+
+    Injectivity is achieved by making the encoding decodable: strings
+    and bytes are length-prefixed (their content can contain any
+    delimiter), every container states its element count and uses a
+    distinct type letter, and scalar atoms carry their type name.  The
+    accountability layer signs full reply statements, so lists and
+    (string-or-scalar-keyed) dicts are supported alongside the tuples
+    the register protocols sign.
     """
     if isinstance(data, tuple):
-        return b"(" + b",".join(_canonical(item) for item in data) + b")"
+        parts = [_canonical(item) for item in data]
+        return b"t%d(" % len(parts) + b",".join(parts) + b")"
     if isinstance(data, (int, float, bool)) or data is None:
         return f"{type(data).__name__}:{data!r}".encode("utf8")
     if isinstance(data, str):
-        return b"s:" + data.encode("utf8")
+        raw = data.encode("utf8")
+        return b"s%d:" % len(raw) + raw
     if isinstance(data, bytes):
-        return b"b:" + data
+        return b"b%d:" % len(data) + data
     if isinstance(data, ProcessId):
         return f"p:{data.kind}:{data.index}".encode("utf8")
     if isinstance(data, frozenset):
         parts = sorted(_canonical(item) for item in data)
-        return b"{" + b",".join(parts) + b"}"
+        return b"f%d{" % len(parts) + b",".join(parts) + b"}"
+    if isinstance(data, list):
+        parts = [_canonical(item) for item in data]
+        return b"l%d[" % len(parts) + b",".join(parts) + b"]"
+    if isinstance(data, dict):
+        items = sorted(
+            (_canonical(key), _canonical(value)) for key, value in data.items()
+        )
+        body = b",".join(key + b"=" + value for key, value in items)
+        return b"d%d{" % len(items) + body + b"}"
     raise SignatureError(f"cannot canonicalise {type(data).__name__} for signing")
 
 
@@ -79,6 +102,15 @@ class SignatureAuthority:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._secrets: Dict[ProcessId, bytes] = {}
+
+    @property
+    def seed(self) -> int:
+        """The signing-domain seed.  Secrets derive deterministically
+        from it, so recording the seed (as transcripts and fraud proofs
+        do) suffices for an independent verifier to rebuild this
+        authority — the trusted-verifier analogue of distributing
+        public keys."""
+        return self._seed
 
     def register(self, signer: ProcessId) -> None:
         """Provision a secret for a signer (idempotent)."""

@@ -759,3 +759,32 @@ class ScheduleDriver:
         if env is None:
             raise ScheduleError(f"no envelope in transit on msg:{rest}")
         self.execution.deliver(env)
+
+
+def collect_transcript(scenario: ExploreScenario, labels) -> Tuple:
+    """Strictly replay a schedule with the accountability overlay on.
+
+    Statement signing is never active during the search itself (it
+    would have to participate in the undo journal); instead a violating
+    schedule is re-run here on a fresh stateless driver whose execution
+    carries a :class:`~repro.accountability.recorder.StatementRecorder`.
+    Corrupted replies go through
+    :meth:`~repro.sim.controller.ScriptedExecution.corrupt_reply`, so
+    they are re-signed with the corrupted server's real key — the
+    transcript contains signed lies, ready for the auditor.
+
+    Returns ``(driver, transcript)``.  The signing domain is the
+    cluster's authority when the protocol has one, else a dedicated
+    seed-0 transport authority — deterministic either way, so replays
+    of the same schedule yield byte-identical transcripts and
+    certificates.
+    """
+    from repro.accountability.recorder import StatementRecorder
+
+    driver = ScheduleDriver(scenario)
+    recorder = StatementRecorder(
+        authority=driver.cluster.authority, authority_seed=0
+    )
+    driver.execution.statement_recorder = recorder
+    driver.run(labels)
+    return driver, recorder.transcript

@@ -50,6 +50,8 @@ from repro.errors import ScheduleError
 from repro.explore.choices import RandomChooser, drive, quorum_walk
 from repro.explore.driver import Action, ExploreScenario, ScheduleDriver
 from repro.explore.oracle import (
+    DETECTABILITY_GAP,
+    FRAUD_PROOF,
     Counterexample,
     Oracle,
     build_counterexample,
@@ -84,6 +86,8 @@ class ExploreStats:
     max_depth_seen: int = 0
     max_enabled: int = 0
     violations: int = 0
+    fraud_proofs: int = 0  # violations whose audit yielded a certificate
+    detectability_gaps: int = 0  # audited violations with no certificate
 
     def merge(self, other: "ExploreStats") -> None:
         self.transitions += other.transitions
@@ -94,6 +98,8 @@ class ExploreStats:
         self.max_depth_seen = max(self.max_depth_seen, other.max_depth_seen)
         self.max_enabled = max(self.max_enabled, other.max_enabled)
         self.violations += other.violations
+        self.fraud_proofs += other.fraud_proofs
+        self.detectability_gaps += other.detectability_gaps
 
     def to_dict(self) -> Dict:
         return {
@@ -105,7 +111,18 @@ class ExploreStats:
             "max_depth_seen": self.max_depth_seen,
             "max_enabled": self.max_enabled,
             "violations": self.violations,
+            "fraud_proofs": self.fraud_proofs,
+            "detectability_gaps": self.detectability_gaps,
         }
+
+    def record_accountability(self, ce: Counterexample) -> None:
+        """Tally the audit verdict attached to one violation."""
+        if ce.accountability is None:
+            return
+        if ce.accountability.get("verdict") == FRAUD_PROOF:
+            self.fraud_proofs += 1
+        elif ce.accountability.get("verdict") == DETECTABILITY_GAP:
+            self.detectability_gaps += 1
 
 
 @dataclass
@@ -455,6 +472,7 @@ def explore(
             },
             shrink=shrink,
         )
+        stats.record_accountability(ce)
         if all(existing.key() != ce.key() for existing in counterexamples):
             counterexamples.append(ce)
 
@@ -641,6 +659,7 @@ def random_walks(
                 },
                 shrink=shrink,
             )
+            stats.record_accountability(ce)
             if all(existing.key() != ce.key() for existing in counterexamples):
                 counterexamples.append(ce)
             if len(counterexamples) >= max_counterexamples:

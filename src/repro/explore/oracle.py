@@ -15,11 +15,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.accountability import audit, verify_fraud_proof
 from repro.errors import ScheduleError, SpecificationError
-from repro.explore.driver import ExploreScenario, ScheduleDriver
+from repro.explore.driver import ExploreScenario, ScheduleDriver, collect_transcript
 from repro.explore.targets import ATOMIC, REGULAR
 from repro.spec.histories import History, Verdict
 from repro.spec.online import validate_history
+
+#: Accountability verdicts attached to ``lie:…`` counterexamples.
+FRAUD_PROOF = "fraud-proof"
+DETECTABILITY_GAP = "detectability-gap"
 
 
 class Oracle:
@@ -52,24 +57,29 @@ class Oracle:
 class Counterexample:
     """A minimal violating schedule plus everything needed to replay it.
 
-    Two artifact schema versions coexist:
+    Three artifact schema versions coexist:
 
     * ``v1`` — crash-only scenarios (no adversary content choices).
     * ``v2`` — additionally carries the adversary strategy menu and
       Byzantine budget inside the scenario, so ``lie:…`` schedules
       replay byte-exactly.
+    * ``v3`` — additionally embeds the accountability verdict of the
+      run's transcript audit: either a serialized
+      ``repro-fraud-proof/v1`` certificate naming the corrupted server,
+      or an explicit detectability-gap marker.
 
     Loading preserves the artifact's version and serialization emits it
     back, so a v1 corpus entry round-trips through
     ``from_json``/``to_json`` unchanged; new artifacts are written as
-    v2 (which degrades to the v1 payload shape when the scenario has no
-    adversary content).
+    v3 when an audit ran (``lie:…`` schedules) and degrade to the
+    v2/v1 payload shapes otherwise.
     """
 
     FORMAT_V1 = "repro-counterexample/v1"
     FORMAT_V2 = "repro-counterexample/v2"
-    FORMAT = FORMAT_V2
-    FORMATS = (FORMAT_V1, FORMAT_V2)
+    FORMAT_V3 = "repro-counterexample/v3"
+    FORMAT = FORMAT_V3
+    FORMATS = (FORMAT_V1, FORMAT_V2, FORMAT_V3)
 
     scenario: ExploreScenario
     property_name: str
@@ -78,13 +88,16 @@ class Counterexample:
     history: History
     provenance: Dict = field(default_factory=dict)
     format_version: str = FORMAT_V2
+    #: ``{"verdict": "fraud-proof"|"detectability-gap", "proof": … }``
+    #: for audited (v3) artifacts, else ``None``.
+    accountability: Optional[Dict] = None
 
     def key(self) -> tuple:
         """Stable identity for deterministic merging and deduplication."""
         return (self.scenario.target, self.property_name, tuple(self.schedule))
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "format": self.format_version,
             "scenario": self.scenario.to_dict(),
             "property": self.property_name,
@@ -98,6 +111,9 @@ class Counterexample:
             "history": self.history.to_dict(),
             "provenance": self.provenance,
         }
+        if self.format_version == self.FORMAT_V3:
+            payload["accountability"] = self.accountability
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -106,13 +122,27 @@ class Counterexample:
     def from_dict(cls, payload: Dict) -> "Counterexample":
         fmt = payload.get("format")
         if fmt not in cls.FORMATS:
+            # A clear schema-version error beats mis-parsing: name the
+            # artifact family when it is one of ours (e.g. a future v4
+            # written by a newer build) and reject everything else.
+            if isinstance(fmt, str) and fmt.startswith("repro-counterexample/"):
+                raise SpecificationError(
+                    f"unsupported counterexample schema {fmt!r}: this build "
+                    f"reads {', '.join(cls.FORMATS)}; a newer artifact needs "
+                    "a newer build"
+                )
             raise SpecificationError(
-                f"unsupported counterexample format {fmt!r}"
+                f"not a counterexample artifact (format {fmt!r}; expected one "
+                f"of {', '.join(cls.FORMATS)})"
             )
         scenario = ExploreScenario.from_dict(payload["scenario"])
         if fmt == cls.FORMAT_V1 and scenario.byzantine_budget > 0:
             raise SpecificationError(
                 "v1 counterexamples cannot carry adversary content choices"
+            )
+        if fmt != cls.FORMAT_V3 and payload.get("accountability") is not None:
+            raise SpecificationError(
+                f"{fmt} counterexamples cannot carry an accountability section"
             )
         verdict = payload["verdict"]
         return cls(
@@ -128,6 +158,7 @@ class Counterexample:
             history=History.from_dict(payload["history"]),
             provenance=dict(payload.get("provenance", {})),
             format_version=fmt,
+            accountability=payload.get("accountability"),
         )
 
     @classmethod
@@ -219,6 +250,21 @@ def build_counterexample(
     verdict = oracle.judge(driver.history)
     if verdict.ok:
         raise ScheduleError("shrunk schedule no longer violates the oracle")
+    accountability = None
+    format_version = Counterexample.FORMAT_V2
+    if any(label.startswith("lie:") for label in schedule):
+        # A Byzantine server lied on this schedule: audit the run's
+        # signed-statement transcript.  A certificate is a pair of
+        # verified contradictory statements; a violation that yields no
+        # certificate is an explicit detectability gap (the lie
+        # contradicted nothing the server previously signed).
+        _, transcript = collect_transcript(scenario, schedule)
+        proof = audit(transcript)
+        accountability = {
+            "verdict": FRAUD_PROOF if proof is not None else DETECTABILITY_GAP,
+            "proof": proof.to_dict() if proof is not None else None,
+        }
+        format_version = Counterexample.FORMAT_V3
     return Counterexample(
         scenario=scenario,
         property_name=oracle.property_name,
@@ -226,6 +272,8 @@ def build_counterexample(
         verdict=verdict,
         history=driver.history,
         provenance=dict(provenance or {}),
+        format_version=format_version,
+        accountability=accountability,
     )
 
 
@@ -243,7 +291,7 @@ def replay_counterexample(counterexample: Counterexample) -> Dict[str, bool]:
         counterexample.property_name, single_writer=scenario.config.W == 1
     )
     verdict = oracle.judge(driver.history)
-    return {
+    report = {
         "history_identical": driver.history.to_json()
         == counterexample.history.to_json(),
         "verdict_identical": (
@@ -254,3 +302,32 @@ def replay_counterexample(counterexample: Counterexample) -> Dict[str, bool]:
         ),
         "violates": not verdict.ok,
     }
+    if counterexample.accountability is not None:
+        # Re-derive the accountability verdict from scratch and require
+        # the certificate (when present) to match byte for byte *and*
+        # to verify independently from its serialized form alone.
+        from repro.accountability import FraudProof
+
+        _, transcript = collect_transcript(scenario, counterexample.schedule)
+        proof = audit(transcript)
+        recorded = counterexample.accountability
+        recorded_proof = recorded.get("proof")
+        derived_verdict = (
+            FRAUD_PROOF if proof is not None else DETECTABILITY_GAP
+        )
+        report["accountability_identical"] = (
+            derived_verdict == recorded.get("verdict")
+            and (
+                (proof is None and recorded_proof is None)
+                or (
+                    proof is not None
+                    and recorded_proof is not None
+                    and proof.to_json()
+                    == FraudProof.from_dict(recorded_proof).to_json()
+                )
+            )
+        )
+        report["certificate_verifies"] = (
+            recorded_proof is not None and verify_fraud_proof(recorded_proof)
+        )
+    return report

@@ -100,6 +100,14 @@ class ClientPool:
             an awaited operation is pending (``0`` disables it).
         reconnect: whether lost/unreachable server links are retried.
         backoff: reconnect backoff policy.
+        collect_statements: retain the signed accountability statements
+            attached to incoming reply frames (servers started with
+            ``accountable=True``) in ``pool.transcript``, verifying each
+            against the shared signing domain; forged or garbled
+            statements are counted as rejected, never retained.
+        statement_seed: the *cluster* seed the servers sign under (the
+            pool's own ``seed`` is a derived per-shard stream, so it
+            cannot double as the signing domain).
     """
 
     def __init__(
@@ -113,6 +121,8 @@ class ClientPool:
         retry_interval: float = 0.5,
         reconnect: bool = True,
         backoff: Optional[BackoffPolicy] = None,
+        collect_statements: bool = False,
+        statement_seed: int = 0,
     ) -> None:
         self.server_addrs = dict(server_addrs)
         self.codec: Codec = get_codec(serializer)
@@ -124,6 +134,14 @@ class ClientPool:
         self.reconnect_enabled = reconnect
         self.backoff = BackoffPolicy() if backoff is None else backoff
         self._backoff_rng = random.Random(derive_seed(seed, "reconnect-jitter"))
+        self.transcript = None
+        self._stmt_authority = None
+        if collect_statements:
+            from repro.accountability import TranscriptLog
+            from repro.crypto.signatures import SignatureAuthority
+
+            self._stmt_authority = SignatureAuthority(statement_seed)
+            self.transcript = TranscriptLog(authority_seed=statement_seed)
         self._conns: Dict[ProcessId, PoolConnection] = {}
         self._waiters: Dict[ProcessId, asyncio.Future] = {}
         self._reconnect_tasks: Dict[ProcessId, asyncio.Task] = {}
@@ -221,9 +239,11 @@ class ClientPool:
         self, body: bytes, server_pid: Optional[ProcessId] = None
     ) -> None:
         try:
-            src, dst, payload = self.codec.decode_body(body)
+            src, dst, payload, statement = self.codec.decode_body_full(body)
         except ProtocolError:
             return  # garbage from a server: drop, keep the connection
+        if statement is not None and self.transcript is not None:
+            self._collect_statement(statement)
         if self.chaos is not None and server_pid is not None:
             self.chaos.apply(
                 server_pid.index,
@@ -232,6 +252,26 @@ class ClientPool:
             )
         else:
             self.runtime.deliver(src, dst, payload)
+
+    def _collect_statement(self, statement: Dict[str, Any]) -> None:
+        """Verify and retain one frame's accountability statement.
+
+        A statement that does not even parse is as worthless as one
+        with a bad signature: both are counted as rejected and dropped
+        (blame can only ever rest on what a server verifiably said).
+        """
+        from repro.accountability import SignedStatement
+        from repro.errors import SpecificationError
+
+        try:
+            stmt = SignedStatement.from_wire(statement)
+        except SpecificationError:
+            self.transcript.rejected += 1
+            return
+        # Key derivation for the claimed signer (idempotent) — the
+        # trusted-verifier analogue of a public-key lookup.
+        self._stmt_authority.register(stmt.server)
+        self.transcript.record(stmt, self._stmt_authority)
 
     def connection_down(
         self, server_pid: ProcessId, conn: Optional[PoolConnection] = None

@@ -75,23 +75,46 @@ class Codec:
             ) from None
         self.serializer = serializer
 
-    def encode_frame(self, src: ProcessId, dst: ProcessId, payload: Any) -> bytes:
-        body = self._dumps({"s": str(src), "d": str(dst), "p": payload.to_wire()})
+    def encode_frame(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Any,
+        statement: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        """Frame one message; ``statement`` optionally attaches a signed
+        accountability statement (a
+        :meth:`~repro.accountability.statements.SignedStatement.to_wire`
+        dict) under the ``"a"`` key.  Peers that predate the field — or
+        run with accountability off — ignore it, so the extension is
+        backward compatible in both directions."""
+        record = {"s": str(src), "d": str(dst), "p": payload.to_wire()}
+        if statement is not None:
+            record["a"] = statement
+        body = self._dumps(record)
         if len(body) > MAX_FRAME:
             raise ProtocolError(f"frame body of {len(body)} bytes exceeds MAX_FRAME")
         return HEADER.pack(len(body)) + body
 
     def decode_body(self, body: bytes) -> Tuple[ProcessId, ProcessId, Any]:
+        return self.decode_body_full(body)[:3]
+
+    def decode_body_full(
+        self, body: bytes
+    ) -> Tuple[ProcessId, ProcessId, Any, Optional[Dict[str, Any]]]:
+        """Like :meth:`decode_body`, also surfacing the frame's optional
+        accountability statement dict (``None`` when absent)."""
         try:
             record = self._loads(body)
             src = parse_pid(record["s"])
             dst = parse_pid(record["d"])
             payload = decode_message(record["p"])
+            statement = record.get("a")
         except ProtocolError:
             raise
         except Exception as exc:  # malformed body: report, don't crash the loop
             raise ProtocolError(f"undecodable frame body: {exc}") from exc
-        return src, dst, payload
+        return src, dst, payload, statement
 
 
 class FrameBuffer:

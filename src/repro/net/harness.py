@@ -53,6 +53,7 @@ def _server_entry(
     serializer: Optional[str],
     enforce: bool,
     port_pipe,
+    accountable: bool = False,
 ) -> None:  # pragma: no cover - exercised in child processes
     """Child-process entry point: run one server until terminated."""
 
@@ -66,6 +67,7 @@ def _server_entry(
             seed=seed,
             serializer=serializer,
             enforce=enforce,
+            accountable=accountable,
         )
         await server.start()
         port_pipe.send(server.port)
@@ -105,6 +107,7 @@ class ServerCluster:
         enforce: bool = True,
         start_timeout: float = 20.0,
         mp_context: Optional[str] = None,
+        accountable: bool = False,
     ) -> "ServerCluster":
         # Build once up front so a bad protocol/config fails in the
         # parent with a real traceback, not S silent child deaths.
@@ -119,7 +122,7 @@ class ServerCluster:
                 target=_server_entry,
                 args=(
                     protocol, config, index, host, port,
-                    seed, serializer, enforce, send,
+                    seed, serializer, enforce, send, accountable,
                 ),
                 daemon=True,
             )
@@ -155,6 +158,7 @@ class ServerCluster:
                 "enforce": enforce,
                 "start_timeout": start_timeout,
                 "mp_context": mp_context,
+                "accountable": accountable,
             },
         )
 
@@ -191,6 +195,7 @@ class ServerCluster:
             args=(
                 args["protocol"], args["config"], index, host, port,
                 args["seed"], args["serializer"], args["enforce"], send,
+                args.get("accountable", False),
             ),
             daemon=True,
         )
@@ -318,6 +323,8 @@ class NetRunResult:
     validator: Optional[HistoryValidator] = field(default=None, repr=False)
     ledger: Optional[Dict[str, Any]] = None
     chaos: Optional[ChaosInjector] = field(default=None, repr=False)
+    #: Verified-statement transcript (``accountable=True`` runs only).
+    transcript: Optional[Any] = None
 
     @property
     def validation(self) -> HistoryValidator:
@@ -387,6 +394,7 @@ async def _run_net_workload(
     pace: float,
     chaos_plan: Optional[FaultPlan],
     chaos_side: str,
+    accountable: bool,
 ) -> NetRunResult:
     servers = await start_servers(
         protocol,
@@ -395,6 +403,7 @@ async def _run_net_workload(
         serializer=serializer,
         enforce=enforce,
         chaos_plan=chaos_plan if chaos_side == "server" else None,
+        accountable=accountable,
     )
     try:
         addrs = {
@@ -411,6 +420,8 @@ async def _run_net_workload(
             seed=derive_seed(seed, "net-inproc") % 2**32,
             serializer=serializer,
             chaos=injector,
+            collect_statements=accountable,
+            statement_seed=seed,
         )
         cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
         pool.add_clients([*cluster.readers, *cluster.writers])
@@ -443,6 +454,7 @@ async def _run_net_workload(
             runtime=pool.runtime,
             ledger=pool.ledger.to_dict(),
             chaos=injector,
+            transcript=pool.transcript,
         )
     finally:
         for server in servers:
@@ -462,6 +474,7 @@ def run_net_workload(
     pace: float = 0.001,
     chaos_plan: Optional[FaultPlan] = None,
     chaos_side: str = "client",
+    accountable: bool = False,
 ) -> NetRunResult:
     """Run one closed-loop workload entirely over localhost sockets.
 
@@ -473,12 +486,15 @@ def run_net_workload(
     the failure budget).  ``chaos_plan`` injects wire-level faults,
     either at the pool (``chaos_side="client"``, decisions recorded in
     the returned result's ``chaos`` injector) or at every server
-    (``chaos_side="server"``).
+    (``chaos_side="server"``).  ``accountable`` turns on the
+    accountability overlay end to end: servers sign their replies, the
+    pool verifies and retains the statements, and the result's
+    ``transcript`` is ready for :func:`repro.accountability.audit`.
     """
     return asyncio.run(
         _run_net_workload(
             protocol, config, reads_per_reader, writes_per_writer,
             seed, serializer, enforce, crash, op_timeout, pace,
-            chaos_plan, chaos_side,
+            chaos_plan, chaos_side, accountable,
         )
     )

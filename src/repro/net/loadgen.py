@@ -81,6 +81,11 @@ class LoadSpec:
             completed operation, in seconds.
         retry_interval: in-flight frame retransmission cadence of each
             shard's pool (lossy links), in seconds; ``0`` disables.
+        audit: collect the servers' signed accountability statements in
+            every shard, merge them across shards and audit the merged
+            transcript for equivocation (requires servers started with
+            ``accountable=True``; without them the transcript is simply
+            empty).  Results land in ``LoadReport.accountability``.
     """
 
     protocol: str
@@ -100,6 +105,7 @@ class LoadSpec:
     chaos: Optional[FaultPlan] = None
     slow_threshold: float = 1.0
     retry_interval: float = 0.5
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if not self.addresses:
@@ -216,6 +222,8 @@ async def _shard_main(shard: ShardSpec) -> Dict[str, Any]:
         chaos=injector,
         ledger=DegradationLedger(slow_threshold=spec.slow_threshold),
         retry_interval=spec.retry_interval,
+        collect_statements=spec.audit,
+        statement_seed=spec.seed,
     )
     readers = cluster.readers[shard.index :: spec.shards]
     writers = cluster.writers if shard.index == 0 else []
@@ -262,6 +270,9 @@ async def _shard_main(shard: ShardSpec) -> Dict[str, Any]:
         "live_servers": pool.live_servers,
         "ledger": pool.ledger.to_dict(),
         "chaos": None if injector is None else injector.to_dict(),
+        "transcript": (
+            None if pool.transcript is None else pool.transcript.to_dict()
+        ),
     }
 
 
@@ -291,6 +302,10 @@ class LoadReport:
     #: Pre-window register value the judge treated as the legal initial
     #: value (``--connect`` against a long-lived cluster), if any.
     window_initial: Any = None
+    #: Merged-transcript audit outcome when the run collected
+    #: statements (``spec.audit``): statement/rejection counts plus one
+    #: serialized fraud proof per provably-equivocating server.
+    accountability: Optional[Dict[str, Any]] = None
 
     @property
     def ops_complete(self) -> int:
@@ -364,6 +379,7 @@ class LoadReport:
             "sim_check": self.sim_check,
             "degradation": self.degradation,
             "window_initial_value": self.window_initial,
+            "accountability": self.accountability,
             "chaos": {
                 str(index): {
                     "digest": record.get("digest"),
@@ -409,6 +425,7 @@ def merge_shard_results(
     dropped = 0
     ledgers: List[Dict[str, Any]] = []
     chaos_shards: Dict[int, Dict[str, Any]] = {}
+    transcript = None
     for result in results:
         rows.extend(result["ops"])
         clients += result["clients"]
@@ -417,6 +434,14 @@ def merge_shard_results(
             ledgers.append(result["ledger"])
         if result.get("chaos") is not None:
             chaos_shards[result["shard"]] = result["chaos"]
+        if result.get("transcript") is not None:
+            from repro.accountability import TranscriptLog
+
+            shard_log = TranscriptLog.from_dict(result["transcript"])
+            if transcript is None:
+                transcript = shard_log
+            else:
+                transcript.merge(shard_log)
     # One global invocation order; ties broken by process name so the
     # merge is deterministic for identical inputs.
     rows.sort(key=lambda row: (row[4], row[0]))
@@ -480,6 +505,16 @@ def merge_shard_results(
     report.verdicts["atomic"] = (
         validator.atomic_verdict().ok if proto.atomic else None
     )
+    if transcript is not None:
+        from repro.accountability import audit_all
+
+        proofs = audit_all(transcript)
+        report.accountability = {
+            "statements": len(transcript),
+            "rejected": transcript.rejected,
+            "accusations": [proof.to_dict() for proof in proofs],
+            "accused": sorted(str(proof.accused) for proof in proofs),
+        }
     return report
 
 

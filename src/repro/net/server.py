@@ -29,6 +29,7 @@ from repro.net.chaos import ChaosInjector, FaultPlan
 from repro.net.codec import Codec, FrameBuffer, get_codec
 from repro.net.runtime import AsyncRuntime
 from repro.registers.base import Cluster, ClusterConfig
+from repro.registers.messages import SERVER_REPLIES
 from repro.registers.registry import get_protocol
 from repro.sim.ids import ProcessId
 
@@ -117,6 +118,11 @@ class NetServer:
             single-process deployments and tests; spawned clusters
             normally leave chaos to the clients so the recorded
             decision streams all live in collectable shard records.
+        accountable: sign every reply with this server's key in the
+            cluster-seed signing domain and attach the signed statement
+            to the outgoing frame (see :mod:`repro.accountability`).
+            Sequence numbers are assigned at send time, so collecting
+            clients can audit for equivocation.
     """
 
     def __init__(
@@ -130,6 +136,7 @@ class NetServer:
         serializer: Optional[str] = None,
         enforce: bool = True,
         chaos: Optional[ChaosInjector] = None,
+        accountable: bool = False,
     ) -> None:
         cluster = build_net_cluster(protocol, config, seed=seed, enforce=enforce)
         self.protocol = protocol
@@ -143,11 +150,22 @@ class NetServer:
         self.runtime.add_process(self.automaton)
         self.runtime.set_default_route(self._route_out)
         self.chaos = chaos
+        self.accountable = accountable
+        if accountable:
+            # Every party derives the same authority from the shared
+            # cluster seed, so statements signed here verify in any
+            # other OS process holding the seed.
+            from repro.crypto.signatures import SignatureAuthority
+
+            self._stmt_authority = SignatureAuthority(seed)
+            self._stmt_seq = 0
+            self._stmt_cause = ""
         self.connections: Set[ServerConnection] = set()
         self._client_conns: Dict[ProcessId, ServerConnection] = {}
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self.frames_in = 0
         self.frames_bad = 0
+        self.statements_signed = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,6 +207,11 @@ class NetServer:
             conn.claimed.add(src)
             self._client_conns[src] = conn
             self.runtime.set_route(src, self._route_out)
+        if self.accountable:
+            # Replies are emitted synchronously inside deliver, so the
+            # request type being dispatched is the cause of whatever
+            # statements _route_out signs during this call.
+            self._stmt_cause = type(payload).__name__
         if self.chaos is not None:
             self.chaos.apply(
                 self.pid.index,
@@ -202,7 +225,23 @@ class NetServer:
         conn = self._client_conns.get(dst)
         if conn is None:
             return  # client vanished between request and reply
-        frame = self.codec.encode_frame(src, dst, payload)
+        statement = None
+        if self.accountable and dst.is_client and isinstance(payload, SERVER_REPLIES):
+            from repro.accountability import sign_statement
+
+            seq = self._stmt_seq
+            self._stmt_seq += 1
+            statement = sign_statement(
+                self._stmt_authority,
+                server=self.pid,
+                seq=seq,
+                client=dst,
+                op_id=getattr(payload, "op_id", None),
+                cause_kind=self._stmt_cause,
+                reply=payload,
+            ).to_wire()
+            self.statements_signed += 1
+        frame = self.codec.encode_frame(src, dst, payload, statement=statement)
         if self.chaos is not None:
             self.chaos.apply(
                 self.pid.index, "send", lambda: self._deliver_out(dst, frame)
@@ -238,6 +277,7 @@ async def start_servers(
     serializer: Optional[str] = None,
     enforce: bool = True,
     chaos_plan: Optional[FaultPlan] = None,
+    accountable: bool = False,
 ) -> "list[NetServer]":
     """Start all ``S`` servers of one cluster in this event loop.
 
@@ -262,6 +302,7 @@ async def start_servers(
                 if chaos_plan is None
                 else ChaosInjector(chaos_plan, side="server", shard=index)
             ),
+            accountable=accountable,
         )
         await server.start()
         servers.append(server)

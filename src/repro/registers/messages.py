@@ -95,6 +95,17 @@ def wire_encode_value(value: Any) -> Any:
         return {"__k": "tuple", "items": [wire_encode_value(v) for v in value]}
     if isinstance(value, list):
         return {"__k": "list", "items": [wire_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        # Plain (untagged) dicts, e.g. the reply-body dict inside a
+        # signed accountability statement.  Items are key-sorted so the
+        # encoding is deterministic.
+        return {
+            "__k": "dict",
+            "items": [
+                [wire_encode_value(key), wire_encode_value(val)]
+                for key, val in sorted(value.items(), key=lambda kv: repr(kv[0]))
+            ],
+        }
     if isinstance(value, bytes):
         return {"__k": "bytes", "hex": value.hex()}
     raise ProtocolError(
@@ -141,6 +152,11 @@ def wire_decode_value(data: Any) -> Any:
         return tuple(wire_decode_value(item) for item in data["items"])
     if kind == "list":
         return [wire_decode_value(item) for item in data["items"]]
+    if kind == "dict":
+        return {
+            wire_decode_value(key): wire_decode_value(val)
+            for key, val in data["items"]
+        }
     if kind == "bytes":
         return bytes.fromhex(data["hex"])
     raise ProtocolError(f"cannot wire-decode value tagged {kind!r}")

@@ -46,6 +46,13 @@ class ScriptedExecution(RuntimeCore):
         self._current_step = 0
         self._rng = None
         self._journal: Optional[List[Tuple]] = None
+        #: Optional accountability overlay (see
+        #: :class:`repro.accountability.recorder.StatementRecorder`).
+        #: Statement signing is a straight-line concern: attach only to
+        #: executions that never roll back (the exploration engines
+        #: re-run violating schedules on a fresh execution to collect
+        #: transcripts instead of recording during the search).
+        self.statement_recorder = None
         #: Per-entity change stamps (process ids + "history"), drawn
         #: from one monotone clock and maintained only while the undo
         #: journal is enabled.  A stamp is journaled and restored on
@@ -112,6 +119,8 @@ class ScriptedExecution(RuntimeCore):
         env = Envelope(src=src, dst=dst, payload=payload, send_time=self._time)
         self.trace.record(self._time, tr.SEND, src, step_id, step_id, env)
         self.network.submit(env)
+        if self.statement_recorder is not None:
+            self.statement_recorder.on_emit(env)
 
     def record_response(self, pid: ProcessId, result: Any, step_id: int) -> None:
         if self._journal is not None:
@@ -268,8 +277,15 @@ class ScriptedExecution(RuntimeCore):
         travels.  Returns the corrupted twin (fresh envelope identity,
         same queue position); fully journaled, so undo-driven searches
         rewind corruptions exactly like honest mutations.
+
+        When a statement recorder is attached, the corrupted reply is
+        re-signed with the corrupted server's *real* key over the same
+        sequence number — a Byzantine server signs its lies.
         """
-        return self.network.substitute(env, payload)
+        twin = self.network.substitute(env, payload)
+        if self.statement_recorder is not None:
+            self.statement_recorder.on_substitute(env, twin)
+        return twin
 
     # ------------------------------------------------------------------
     # higher-level schedule vocabulary (the proofs' language)
@@ -390,4 +406,6 @@ class ScriptedExecution(RuntimeCore):
             cause_step=self.trace.send_step_of(env),
             env=env,
         )
+        if self.statement_recorder is not None:
+            self.statement_recorder.on_deliver(env)
         receiver.on_message(env.payload, env.src, Context(self, env.dst, step_id))

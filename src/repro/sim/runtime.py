@@ -63,6 +63,9 @@ class Simulation(RuntimeCore):
         self._on_response: List[Callable[[Operation], None]] = []
         self._crash_after_sends: Dict[ProcessId, int] = {}
         self._automata_rng = None  # lazy; most runs never draw from it
+        #: Optional accountability overlay (see
+        #: :class:`repro.accountability.recorder.StatementRecorder`).
+        self.statement_recorder = None
         self._step_ctx = Context(self, None, 0)
         self.network = SimNetwork(
             queue=self.queue,
@@ -141,11 +144,15 @@ class Simulation(RuntimeCore):
                     if self._tracing:
                         self.trace.record(now, tr.SEND, src, step_id, step_id, env)
                     self._submit(env)
+                    if self.statement_recorder is not None:
+                        self.statement_recorder.on_emit(env)
                     self._crash_now(src, step_id)
                     return
         if self._tracing:
             self.trace.record(now, tr.SEND, src, step_id, step_id, env)
         self._submit(env)
+        if self.statement_recorder is not None:
+            self.statement_recorder.on_emit(env)
 
     def record_response(self, pid: ProcessId, result: Any, step_id: int) -> None:
         now = self.clock._now
@@ -253,6 +260,8 @@ class Simulation(RuntimeCore):
                 cause_step=self.trace.send_step_of(env),
                 env=env,
             )
+        if self.statement_recorder is not None:
+            self.statement_recorder.on_deliver(env)
         ctx = self._step_ctx
         ctx._pid = env.dst
         ctx._step_id = step_id

@@ -43,6 +43,9 @@ class RunResult:
     sim: Simulation
     events_executed: int
     validator: Optional[HistoryValidator] = None
+    #: Per-run verified-statement transcript when the run was made with
+    #: ``collect_transcript=True`` (see :mod:`repro.accountability`).
+    transcript: Optional[object] = None
 
     @property
     def validation(self) -> HistoryValidator:
@@ -89,6 +92,7 @@ def run_workload(
     record_trace: bool = True,
     enforce: bool = True,
     max_events: int = 2_000_000,
+    collect_transcript: bool = False,
 ) -> RunResult:
     """Run one protocol under one workload and return the evidence.
 
@@ -103,6 +107,10 @@ def run_workload(
             the place to swap in Byzantine servers.
         record_trace: disable for large benchmark runs.
         enforce: verify the protocol's feasibility requirement.
+        collect_transcript: attach the accountability overlay — servers
+            sign every reply, the client-received statements land in
+            ``RunResult.transcript`` ready for
+            :func:`repro.accountability.audit`.
     """
     workload = workload or ClosedLoopWorkload()
     spec = get_protocol(protocol)
@@ -110,6 +118,14 @@ def run_workload(
     if cluster_hook is not None:
         cluster_hook(cluster)
     sim = Simulation(seed=seed, latency=latency, record_trace=record_trace)
+    recorder = None
+    if collect_transcript:
+        from repro.accountability.recorder import StatementRecorder
+
+        recorder = StatementRecorder(
+            authority=cluster.authority, authority_seed=seed
+        )
+        sim.statement_recorder = recorder
     cluster.install(sim)
     if crash_plan is not None:
         crash_plan.validate(config)
@@ -131,6 +147,7 @@ def run_workload(
         sim=sim,
         events_executed=events,
         validator=validator,
+        transcript=recorder.transcript if recorder is not None else None,
     )
 
 

@@ -1,0 +1,237 @@
+"""Unit surface of the transcript auditor and fraud-proof certificates.
+
+The contradiction predicates, certificate extraction/minimality, the
+serialized ``repro-fraud-proof/v1`` round-trip, and standalone
+re-verification including tamper detection.
+"""
+
+import json
+
+import pytest
+
+from repro.accountability import (
+    DUPLICATE_SEQ,
+    FRAUD_PROOF_FORMAT,
+    TAG_REGRESSION,
+    FraudProof,
+    TranscriptLog,
+    audit,
+    audit_all,
+    contradiction_kind,
+    sign_statement,
+    verify_fraud_proof,
+)
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import SpecificationError
+from repro.registers import messages as msg
+from repro.registers.timestamps import ValueTag
+from repro.sim.ids import reader, server, writer
+
+
+def ack(ts, value=1, op_id=1):
+    return msg.FastReadAck(
+        op_id=op_id,
+        tag=ValueTag(ts, value),
+        seen=frozenset({writer(1)}),
+        r_counter=0,
+    )
+
+
+def stmt(authority, seq, ts, index=1, op_id=1):
+    return sign_statement(
+        authority,
+        server=server(index),
+        seq=seq,
+        client=reader(1),
+        op_id=op_id,
+        cause_kind="FastRead",
+        reply=ack(ts, op_id=op_id),
+    )
+
+
+def transcript(*statements, seed=0):
+    # a fresh verifying authority, as in the client collection path:
+    # register (derive the key) before verifying
+    authority = SignatureAuthority(seed=seed)
+    log = TranscriptLog(authority_seed=seed)
+    for statement in statements:
+        authority.register(statement.server)
+        assert log.record(statement, authority)
+    return log
+
+
+class TestContradictionKind:
+    def test_monotone_statements_are_consistent(self):
+        authority = SignatureAuthority(seed=0)
+        assert (
+            contradiction_kind(stmt(authority, 0, ts=1), stmt(authority, 1, ts=2))
+            is None
+        )
+        # equal tags are fine too (no write in between)
+        assert (
+            contradiction_kind(stmt(authority, 0, ts=1), stmt(authority, 1, ts=1))
+            is None
+        )
+
+    def test_tag_regression_detected(self):
+        authority = SignatureAuthority(seed=0)
+        first = stmt(authority, 0, ts=2)
+        second = stmt(authority, 1, ts=1)
+        assert contradiction_kind(first, second) == TAG_REGRESSION
+
+    def test_duplicate_seq_detected(self):
+        authority = SignatureAuthority(seed=0)
+        first = stmt(authority, 0, ts=1, op_id=1)
+        second = stmt(authority, 0, ts=1, op_id=2)
+        assert contradiction_kind(first, second) == DUPLICATE_SEQ
+
+    def test_identical_resend_is_not_equivocation(self):
+        authority = SignatureAuthority(seed=0)
+        assert (
+            contradiction_kind(stmt(authority, 0, ts=1), stmt(authority, 0, ts=1))
+            is None
+        )
+
+    def test_cross_server_pairs_never_contradict(self):
+        authority = SignatureAuthority(seed=0)
+        first = stmt(authority, 0, ts=2, index=1)
+        second = stmt(authority, 1, ts=1, index=2)
+        assert contradiction_kind(first, second) is None
+
+    def test_order_matters(self):
+        """seq order, not presentation order: the reversed pair asserts
+        nothing (the floor came after the lower tag)."""
+        authority = SignatureAuthority(seed=0)
+        later_high = stmt(authority, 1, ts=2)
+        earlier_low = stmt(authority, 0, ts=1)
+        assert contradiction_kind(later_high, earlier_low) is None
+
+
+class TestAudit:
+    def test_clean_transcript_yields_nothing(self):
+        authority = SignatureAuthority(seed=0)
+        log = transcript(
+            stmt(authority, 0, ts=1),
+            stmt(authority, 1, ts=1),
+            stmt(authority, 2, ts=2),
+            stmt(authority, 0, ts=2, index=2),
+        )
+        assert audit(log) is None
+        assert audit_all(log) == []
+
+    def test_regression_extracted_across_a_gap(self):
+        """The floor and the regressing reply need not be adjacent."""
+        authority = SignatureAuthority(seed=0)
+        log = transcript(
+            stmt(authority, 0, ts=3),
+            stmt(authority, 1, ts=3),
+            stmt(authority, 2, ts=1),  # regresses against seq 0's floor
+        )
+        proof = audit(log)
+        assert proof is not None
+        assert proof.kind == TAG_REGRESSION
+        assert str(proof.accused) == "s1"
+        assert (proof.first.seq, proof.second.seq) == (0, 2)
+
+    def test_one_proof_per_lying_server(self):
+        authority = SignatureAuthority(seed=0)
+        log = transcript(
+            stmt(authority, 0, ts=2, index=1),
+            stmt(authority, 1, ts=1, index=1),
+            stmt(authority, 0, ts=2, index=3),
+            stmt(authority, 1, ts=1, index=3),
+            stmt(authority, 0, ts=1, index=2),  # honest
+        )
+        proofs = audit_all(log)
+        assert [str(proof.accused) for proof in proofs] == ["s1", "s3"]
+
+    def test_audit_is_independent_of_collection_authority(self):
+        """Auditing a deserialized transcript (fresh process, no shared
+        authority) still verifies and extracts."""
+        authority = SignatureAuthority(seed=7)
+        log = transcript(
+            stmt(authority, 0, ts=2), stmt(authority, 1, ts=1), seed=7
+        )
+        revived = TranscriptLog.from_dict(json.loads(json.dumps(log.to_dict())))
+        proof = audit(revived)
+        assert proof is not None and proof.kind == TAG_REGRESSION
+
+    def test_forged_statements_cannot_frame(self):
+        """Statements that fail signature verification are discarded by
+        the audit itself — an adversary inserting fabricated statements
+        into a transcript cannot frame an honest server."""
+        from dataclasses import replace
+
+        authority = SignatureAuthority(seed=0)
+        log = transcript(stmt(authority, 0, ts=2))
+        # splice in an unsigned "regression" naming the same server
+        fake = replace(stmt(authority, 1, ts=1), signature=log.statements[0].signature)
+        log.statements.append(fake)
+        assert audit(log) is None
+
+
+class TestFraudProofArtifact:
+    def _proof(self, seed=0):
+        authority = SignatureAuthority(seed=seed)
+        log = transcript(
+            stmt(authority, 0, ts=2), stmt(authority, 1, ts=1), seed=seed
+        )
+        return audit(log)
+
+    def test_dict_round_trip_and_format(self):
+        proof = self._proof()
+        payload = proof.to_dict()
+        assert payload["format"] == FRAUD_PROOF_FORMAT
+        assert FraudProof.from_dict(payload).to_dict() == payload
+
+    def test_json_is_canonical(self):
+        proof = self._proof()
+        assert proof.to_json() == json.dumps(
+            proof.to_dict(), sort_keys=True, indent=2
+        )
+
+    def test_verifies_from_json_alone(self):
+        payload = json.loads(json.dumps(self._proof(seed=5).to_dict()))
+        assert verify_fraud_proof(payload)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p["first"].__setitem__("seq", 7),
+            lambda p: p["second"]["reply"]["f"]["tag"].__setitem__("ts", 9),
+            lambda p: p.__setitem__("authority_seed", 99),
+            lambda p: p.__setitem__("accused", "s2"),
+            lambda p: p.__setitem__("kind", DUPLICATE_SEQ),
+        ],
+        ids=["seq", "reply-tag", "seed", "accused", "kind"],
+    )
+    def test_tampering_is_caught(self, mutate):
+        payload = json.loads(json.dumps(self._proof().to_dict()))
+        mutate(payload)
+        assert not verify_fraud_proof(payload)
+
+    def test_consistent_pair_is_no_proof(self):
+        """Two genuinely-signed but non-contradictory statements do not
+        verify as a certificate: the predicate is re-run, not trusted."""
+        authority = SignatureAuthority(seed=0)
+        fake = FraudProof(
+            accused=server(1),
+            kind=TAG_REGRESSION,
+            first=stmt(authority, 0, ts=1),
+            second=stmt(authority, 1, ts=2),
+            authority_seed=0,
+        )
+        assert not verify_fraud_proof(fake.to_dict())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SpecificationError, match="unsupported fraud proof"):
+            verify_fraud_proof({"format": "repro-fraud-proof/v9"})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SpecificationError, match="malformed fraud proof"):
+            FraudProof.from_dict({"format": FRAUD_PROOF_FORMAT})
+
+    def test_describe_names_the_contradiction(self):
+        text = self._proof().describe()
+        assert "tag-regression by s1" in text
+        assert "s1#0" in text and "s1#1" in text

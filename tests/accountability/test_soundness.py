@@ -1,0 +1,166 @@
+"""Auditor soundness: honest servers are never accused.
+
+The accountability layer's one-sided guarantee: certificates only ever
+name servers that actually equivocated.  Three honest regimes must audit
+clean — fault-free runs of every protocol, crash-faulty runs within the
+budget, and chaotic (drop/delay/duplicate) socket runs — while every
+known-lying schedule in the counterexample corpus must either yield a
+certificate naming exactly the corrupted server or be an explicitly
+recorded detectability gap.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.accountability import audit, audit_all
+from repro.faults.crash import CrashPlan
+from repro.registers.base import ClusterConfig
+from repro.sim.ids import server
+from repro.workloads.generators import ClosedLoopWorkload
+from repro.workloads.runner import run_workload
+
+#: Every registered protocol at a feasible configuration.
+HONEST_CONFIGS = {
+    "abd": ClusterConfig(S=5, t=1, R=2),
+    "fast-byzantine": ClusterConfig(S=8, t=1, R=2, b=1),
+    "fast-crash": ClusterConfig(S=5, t=1, R=2),
+    "maxmin": ClusterConfig(S=5, t=1, R=2),
+    "mwmr": ClusterConfig(S=5, t=1, R=2, W=2),
+    "naive-fast-mwmr": ClusterConfig(S=5, t=1, R=2, W=2),
+    "regular-fast": ClusterConfig(S=5, t=1, R=2),
+    "semifast": ClusterConfig(S=5, t=1, R=2),
+    "swsr-fast": ClusterConfig(S=4, t=1, R=1),
+}
+
+WORKLOAD = ClosedLoopWorkload(reads_per_reader=3, writes_per_writer=2)
+
+
+class TestHonestRunsAuditClean:
+    @pytest.mark.parametrize("protocol", sorted(HONEST_CONFIGS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_zero_accusations(self, protocol, seed):
+        result = run_workload(
+            protocol,
+            HONEST_CONFIGS[protocol],
+            workload=WORKLOAD,
+            seed=seed,
+            collect_transcript=True,
+        )
+        # non-vacuous: statements were actually collected and verified
+        assert len(result.transcript) > 0
+        assert result.transcript.rejected == 0
+        assert audit_all(result.transcript) == []
+
+    def test_runs_without_the_overlay_carry_no_transcript(self):
+        result = run_workload(
+            "fast-crash", HONEST_CONFIGS["fast-crash"], workload=WORKLOAD
+        )
+        assert result.transcript is None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_crash_faults_within_budget_audit_clean(self, seed):
+        """A crashed server goes silent — silence is never equivocation."""
+        plan = CrashPlan().add(server(1), 1.5)
+        result = run_workload(
+            "fast-crash",
+            HONEST_CONFIGS["fast-crash"],
+            workload=WORKLOAD,
+            seed=seed,
+            crash_plan=plan,
+            collect_transcript=True,
+        )
+        assert len(result.transcript) > 0
+        assert audit_all(result.transcript) == []
+
+
+class TestChaoticSocketRunsAuditClean:
+    def test_drop_delay_duplicate_within_budget(self):
+        """Chaos duplicates and reorders frames; a resent statement is
+        identical, not contradictory, so the audit must stay clean."""
+        from repro.net import run_net_workload
+        from repro.net.chaos import FaultPlan, LinkFaults
+
+        plan = FaultPlan(
+            seed=11,
+            default=LinkFaults(
+                drop=0.05,
+                delay=0.3,
+                delay_min=0.001,
+                delay_max=0.01,
+                duplicate=0.05,
+                reorder=0.05,
+            ),
+        )
+        result = run_net_workload(
+            "abd",
+            ClusterConfig(S=3, t=1, R=2),
+            reads_per_reader=4,
+            writes_per_writer=2,
+            seed=3,
+            chaos_plan=plan,
+            accountable=True,
+        )
+        assert result.transcript is not None
+        assert len(result.transcript) > 0
+        assert audit_all(result.transcript) == []
+
+
+class TestCorpusLiesAreAccountable:
+    CORPUS = sorted(
+        (pathlib.Path(__file__).parent.parent / "data" / "counterexamples").glob(
+            "*.json"
+        )
+    )
+
+    def lying_entries(self):
+        from repro.explore import Counterexample
+
+        for path in self.CORPUS:
+            ce = Counterexample.from_json(path.read_text())
+            if any(label.startswith("lie:") for label in ce.schedule):
+                yield path.stem, ce
+
+    def test_corpus_has_lying_entries(self):
+        assert list(self.lying_entries())
+
+    def test_every_lying_schedule_blames_only_the_liar(self):
+        """Re-run each lying corpus schedule with the overlay attached:
+        any certificate must name exactly the corrupted server, and a
+        certificate-free audit is only acceptable when the artifact
+        itself records the detectability gap."""
+        from repro.explore.driver import collect_transcript
+
+        for stem, ce in self.lying_entries():
+            liars = {
+                label.rsplit(":", 1)[1]
+                for label in ce.schedule
+                if label.startswith("lie:")
+            }
+            _, transcript = collect_transcript(ce.scenario, ce.schedule)
+            proofs = audit_all(transcript)
+            accused = {str(proof.accused) for proof in proofs}
+            assert accused <= liars, f"{stem}: honest server accused"
+            if ce.accountability is not None:
+                if ce.accountability["verdict"] == "fraud-proof":
+                    assert accused == liars, f"{stem}: liar escaped"
+                else:
+                    assert not proofs, f"{stem}: gap artifact grew a proof"
+
+    def test_v3_corpus_certificates_match_fresh_audits(self):
+        """The embedded certificate is byte-for-byte what a fresh audit
+        of the replayed schedule extracts."""
+        from repro.accountability import FraudProof
+        from repro.explore.driver import collect_transcript
+
+        checked = 0
+        for stem, ce in self.lying_entries():
+            if ce.accountability is None or not ce.accountability["proof"]:
+                continue
+            _, transcript = collect_transcript(ce.scenario, ce.schedule)
+            proof = audit(transcript)
+            recorded = FraudProof.from_dict(ce.accountability["proof"])
+            assert proof is not None, stem
+            assert proof.to_json() == recorded.to_json(), stem
+            checked += 1
+        assert checked > 0

@@ -1,0 +1,206 @@
+"""Unit surface of the signed-statement layer.
+
+Signing, verification (and its failure modes), wire round-trips, the
+``reply_claims`` extraction table, and the transcript log's
+verify-on-record / merge semantics.
+"""
+
+import pytest
+
+from repro.accountability import (
+    STATEMENT_DOMAIN,
+    SignedStatement,
+    TranscriptLog,
+    reply_claims,
+    sign_statement,
+    verify_statement,
+)
+from repro.crypto.signatures import SignatureAuthority
+from repro.errors import SpecificationError
+from repro.registers import messages as msg
+from repro.registers.timestamps import ValueTag
+from repro.sim.ids import reader, server, writer
+
+
+def ack(ts=1, value=7, op_id=1):
+    return msg.FastReadAck(
+        op_id=op_id,
+        tag=ValueTag(ts, value),
+        seen=frozenset({writer(1)}),
+        r_counter=0,
+    )
+
+
+def statement(authority, seq=0, ts=1, index=1, **overrides):
+    kwargs = dict(
+        server=server(index),
+        seq=seq,
+        client=reader(1),
+        op_id=1,
+        cause_kind="FastRead",
+        reply=ack(ts=ts),
+    )
+    kwargs.update(overrides)
+    return sign_statement(authority, **kwargs)
+
+
+class TestSignVerify:
+    def test_signed_statement_verifies(self):
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        assert verify_statement(authority, stmt)
+
+    def test_payload_is_domain_separated(self):
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        assert stmt.statement_payload()[0] == STATEMENT_DOMAIN
+
+    def test_fresh_authority_same_seed_verifies(self):
+        """Verification is a pure function of the signing-domain seed —
+        the property fraud-proof re-verification rests on."""
+        stmt = statement(SignatureAuthority(seed=3))
+        verifier = SignatureAuthority(seed=3)
+        verifier.register(stmt.server)
+        assert verify_statement(verifier, stmt)
+
+    def test_wrong_seed_rejects(self):
+        stmt = statement(SignatureAuthority(seed=3))
+        verifier = SignatureAuthority(seed=4)
+        verifier.register(stmt.server)
+        assert not verify_statement(verifier, stmt)
+
+    def test_impersonation_rejected(self):
+        """A server cannot produce a valid statement naming another
+        server: the signature binds the signer identity."""
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        forged = SignedStatement(
+            server=server(2),
+            seq=stmt.seq,
+            client=stmt.client,
+            op_id=stmt.op_id,
+            cause_kind=stmt.cause_kind,
+            reply=stmt.reply,
+            signature=stmt.signature,  # s1's signature on s2's claim
+        )
+        authority.register(server(2))
+        assert not verify_statement(authority, forged)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("seq", 99),
+            ("client", reader(2)),
+            ("op_id", 42),
+            ("cause_kind", "FastWrite"),
+            ("reply", ack(ts=5)),
+        ],
+    )
+    def test_any_field_tamper_rejected(self, field, value):
+        from dataclasses import replace
+
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        assert not verify_statement(authority, replace(stmt, **{field: value}))
+
+
+class TestWireRoundTrip:
+    def test_round_trip_preserves_statement(self):
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        clone = SignedStatement.from_wire(stmt.to_wire())
+        assert clone == stmt
+        assert verify_statement(authority, clone)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        authority = SignatureAuthority(seed=0)
+        stmt = statement(authority)
+        wire = json.loads(json.dumps(stmt.to_wire()))
+        assert SignedStatement.from_wire(wire) == stmt
+
+    def test_malformed_wire_raises(self):
+        with pytest.raises(SpecificationError, match="malformed signed statement"):
+            SignedStatement.from_wire({"server": "s1"})
+
+
+class TestReplyClaims:
+    def test_fast_acks_claim_floor_and_current(self):
+        assert reply_claims(ack(ts=4)) == (4, 4)
+        write_ack = msg.FastWriteAck(
+            op_id=1, tag=ValueTag(2, 1), seen=frozenset(), r_counter=0
+        )
+        assert reply_claims(write_ack) == (2, 2)
+        assert reply_claims(msg.QueryReply(op_id=1, tag=ValueTag(3, 1))) == (3, 3)
+
+    def test_store_ack_claims_floor_only(self):
+        assert reply_claims(msg.StoreAck(op_id=1, ts=5)) == (5, None)
+
+    def test_maxmin_ack_claims_floor_only(self):
+        # The gossip-pool max may legitimately trail the server's own
+        # tag, so it must never be read as a current-tag claim.
+        maxmin = msg.MaxMinReadAck(op_id=1, tag=ValueTag(2, 1), r_counter=0)
+        assert reply_claims(maxmin) == (2, None)
+
+    def test_requests_claim_nothing(self):
+        request = msg.FastRead(op_id=1, tag=ValueTag(1, 1), r_counter=0)
+        assert reply_claims(request) == (None, None)
+
+
+class TestTranscriptLog:
+    def test_record_keeps_verified_statements(self):
+        authority = SignatureAuthority(seed=0)
+        log = TranscriptLog(authority_seed=0)
+        assert log.record(statement(authority), authority)
+        assert len(log) == 1
+        assert log.rejected == 0
+
+    def test_record_counts_rejected(self):
+        from dataclasses import replace
+
+        authority = SignatureAuthority(seed=0)
+        log = TranscriptLog(authority_seed=0)
+        bad = replace(statement(authority), seq=99)
+        assert not log.record(bad, authority)
+        assert len(log) == 0
+        assert log.rejected == 1
+
+    def test_merge_concatenates_and_sums(self):
+        authority = SignatureAuthority(seed=0)
+        first, second = TranscriptLog(0), TranscriptLog(0)
+        first.record(statement(authority, seq=0), authority)
+        second.record(statement(authority, seq=1), authority)
+        second.rejected = 2
+        first.merge(second)
+        assert len(first) == 2
+        assert first.rejected == 2
+
+    def test_merge_rejects_cross_domain(self):
+        with pytest.raises(SpecificationError, match="signing domains"):
+            TranscriptLog(0).merge(TranscriptLog(1))
+
+    def test_dict_round_trip(self):
+        authority = SignatureAuthority(seed=0)
+        log = TranscriptLog(authority_seed=0)
+        log.record(statement(authority, seq=0), authority)
+        log.record(statement(authority, seq=1, ts=2), authority)
+        clone = TranscriptLog.from_dict(log.to_dict())
+        assert clone.to_dict() == log.to_dict()
+        assert clone.statements == log.statements
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SpecificationError, match="unsupported transcript"):
+            TranscriptLog.from_dict({"format": "repro-transcript/v9"})
+
+    def test_by_server_groups(self):
+        authority = SignatureAuthority(seed=0)
+        log = TranscriptLog(authority_seed=0)
+        log.record(statement(authority, seq=0, index=1), authority)
+        log.record(statement(authority, seq=0, index=2), authority)
+        log.record(statement(authority, seq=1, index=1), authority)
+        grouped = log.by_server()
+        assert {str(pid): len(items) for pid, items in grouped.items()} == {
+            "s1": 2,
+            "s2": 1,
+        }

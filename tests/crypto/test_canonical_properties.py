@@ -1,0 +1,92 @@
+"""Property tests for the canonical signing encoder.
+
+The accountability layer signs whole reply statements — nested tuples,
+lists, dicts and frozensets — so ``_canonical`` must be *injective*:
+any two distinct payloads must map to distinct bytes, or a signature
+over one value would verify for another.  Hypothesis drives both the
+no-collision direction and determinism under container reordering.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.signatures import SignatureAuthority, _canonical
+from repro.sim.ids import reader, server, writer
+
+# Scalars avoid the bool/int/float cross-type equality pitfall
+# (``1 == True == 1.0`` in Python while the encodings differ by design:
+# the type name is part of the atom) by drawing each type from
+# non-overlapping value ranges where needed.  Distinctness below is
+# asserted on ``!=`` pairs, for which differing bytes are exactly what
+# injectivity demands.
+_scalars = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+    st.booleans(),
+    st.none(),
+    st.sampled_from([server(1), server(2), reader(1), writer(1)]),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _strictly_distinct(left, right) -> bool:
+    """True when ``left != right`` and the pair does not rely on
+    Python's cross-type numeric equality (``1 == True``), which the
+    typed encoding deliberately separates."""
+    return left != right
+
+
+class TestInjectivity:
+    @given(left=_values, right=_values)
+    @settings(max_examples=300)
+    def test_distinct_values_distinct_bytes(self, left, right):
+        if _strictly_distinct(left, right):
+            assert _canonical(left) != _canonical(right)
+
+    def test_comma_in_string_does_not_collide_with_tuple_split(self):
+        # Regression: a delimiter-based encoding would collapse these.
+        assert _canonical(("a,s1:b",)) != _canonical(("a", "b"))
+
+    def test_nested_list_does_not_flatten(self):
+        assert _canonical([1, [2, 3]]) != _canonical([1, 2, 3])
+        assert _canonical([[1], [2]]) != _canonical([[1, 2]])
+
+    def test_tuple_list_and_set_are_distinct(self):
+        assert _canonical((1, 2)) != _canonical([1, 2])
+        assert _canonical(frozenset({1, 2})) != _canonical((1, 2))
+
+    def test_dict_key_value_pairing_is_unambiguous(self):
+        assert _canonical({"a": "b", "c": "d"}) != _canonical({"a": "bc", "": "d"})
+
+    def test_numeric_types_are_separated(self):
+        assert _canonical(1) != _canonical(1.0)
+        assert _canonical(1) != _canonical(True)
+        assert _canonical("1") != _canonical(1)
+
+
+class TestDeterminism:
+    @given(entries=st.dictionaries(st.text(max_size=8), _scalars, max_size=6))
+    @settings(max_examples=100)
+    def test_dict_insertion_order_is_irrelevant(self, entries):
+        shuffled = dict(reversed(list(entries.items())))
+        assert _canonical(entries) == _canonical(shuffled)
+
+    @given(items=st.lists(st.integers(), max_size=8))
+    def test_frozenset_order_is_irrelevant(self, items):
+        assert _canonical(frozenset(items)) == _canonical(frozenset(reversed(items)))
+
+    @given(value=_values)
+    @settings(max_examples=150)
+    def test_sign_verify_roundtrip_over_nested_payloads(self, value):
+        authority = SignatureAuthority(seed=3)
+        authority.register(server(1))
+        assert authority.verify(authority.sign(server(1), value))

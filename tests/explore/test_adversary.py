@@ -159,17 +159,35 @@ class TestSectionSixThreshold:
         assert result.found_violation
         ce = result.counterexamples[0]
         assert any(label.startswith("lie:") for label in ce.schedule)
-        assert ce.format_version == Counterexample.FORMAT_V2
+        assert ce.format_version == Counterexample.FORMAT_V3
         # shrunk: 1-minimal schedules for this shape are 6 actions
         assert len(ce.schedule) <= 6
-        # and byte-exact replayable
+        # and byte-exact replayable, certificate included
         from repro.explore import replay_counterexample
 
         assert replay_counterexample(ce) == {
             "history_identical": True,
             "verdict_identical": True,
             "violates": True,
+            "accountability_identical": True,
+            "certificate_verifies": True,
         }
+
+    def test_beyond_threshold_certificate_names_the_corrupted_server(self):
+        from repro.accountability import verify_fraud_proof
+
+        result = explore(byz_scenario(), depth=6, max_transitions=100_000)
+        ce = result.counterexamples[0]
+        assert ce.accountability is not None
+        assert ce.accountability["verdict"] == "fraud-proof"
+        proof = ce.accountability["proof"]
+        assert verify_fraud_proof(proof)
+        corrupted = {
+            label.split(":")[-1]
+            for label in ce.schedule
+            if label.startswith("lie:")
+        }
+        assert {proof["accused"]} == corrupted
 
     def test_feasible_region_exhaustively_clean(self):
         result = explore(

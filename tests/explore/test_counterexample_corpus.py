@@ -34,11 +34,18 @@ def test_corpus_is_not_empty():
 def test_counterexample_replays_byte_for_byte(path):
     counterexample = Counterexample.from_json(path.read_text())
     report = replay_counterexample(counterexample)
-    assert report == {
+    expected = {
         "history_identical": True,
         "verdict_identical": True,
         "violates": True,
     }
+    if counterexample.accountability is not None:
+        # v3 artifacts embed the audit outcome: replay re-collects the
+        # transcript, re-audits, and the certificate must match
+        # byte-for-byte and re-verify standalone
+        expected["accountability_identical"] = True
+        expected["certificate_verifies"] = True
+    assert report == expected
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=corpus_id)
@@ -55,7 +62,11 @@ def test_artifact_is_canonical_json(path):
     payload = json.loads(text)
     assert payload["format"] in Counterexample.FORMATS
     assert payload["verdict"]["ok"] is False
-    if counterexample.scenario.byzantine_budget:
+    if "accountability" in payload:
+        # audited adversary artifacts are v3 and carry the verdict
+        assert payload["format"] == Counterexample.FORMAT_V3
+        assert payload["scenario"]["strategies"]
+    elif counterexample.scenario.byzantine_budget:
         assert payload["format"] == Counterexample.FORMAT_V2
         assert payload["scenario"]["strategies"]
     else:
@@ -101,6 +112,36 @@ def test_byzantine_entry_has_the_predicted_equivocation_shape():
     assert write.complete and write.value == 1
     assert read.result == "⊥"
     assert not ce.verdict.ok
+
+
+def test_v3_entry_carries_a_standalone_fraud_proof():
+    """The accountability corpus entry: a schema-v3 artifact whose
+    embedded certificate re-verifies from the JSON alone and names
+    exactly the server the schedule corrupted."""
+    from repro.accountability import FraudProof, verify_fraud_proof
+
+    v3 = [
+        Counterexample.from_json(p.read_text())
+        for p in CORPUS
+        if json.loads(p.read_text()).get("format") == Counterexample.FORMAT_V3
+    ]
+    assert v3, "corpus must hold at least one schema-v3 artifact"
+    for ce in v3:
+        assert ce.accountability["verdict"] == "fraud-proof"
+        proof = ce.accountability["proof"]
+        # independent re-verification: nothing but the serialized dict
+        assert verify_fraud_proof(proof)
+        liars = {
+            label.rsplit(":", 1)[1]
+            for label in ce.schedule
+            if label.startswith("lie:")
+        }
+        assert {proof["accused"]} == liars
+        # tampering with either half must be caught
+        tampered = json.loads(json.dumps(proof))
+        tampered["first"]["seq"] += 1
+        assert not verify_fraud_proof(tampered)
+        assert FraudProof.from_dict(proof).to_dict() == proof
 
 
 def test_no_seen_reset_entry_has_the_predicted_shape():

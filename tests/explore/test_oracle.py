@@ -111,3 +111,89 @@ class TestCounterexampleArtifacts:
 
         with pytest.raises(SpecificationError):
             Counterexample.from_dict({"format": "bogus/v9"})
+
+
+class TestSchemaVersions:
+    """`from_dict` regression surface across the v1/v2/v3 lineage."""
+
+    def _artifact(self):
+        oracle = Oracle.for_scenario(scenario())
+        return build_counterexample(scenario(), PADDED, oracle)
+
+    def test_new_crash_artifact_is_v2_without_accountability(self):
+        payload = self._artifact().to_dict()
+        # unaudited artifacts never jump to v3
+        assert payload["format"] == Counterexample.FORMAT_V2
+        assert "accountability" not in payload
+        clone = Counterexample.from_dict(payload)
+        assert clone.to_dict() == payload
+        assert clone.accountability is None
+
+    def test_v1_payload_round_trips_unchanged(self):
+        payload = self._artifact().to_dict()
+        payload["format"] = Counterexample.FORMAT_V1
+        clone = Counterexample.from_dict(payload)
+        assert clone.format_version == Counterexample.FORMAT_V1
+        assert clone.to_dict() == payload
+
+    def test_v2_byzantine_artifact_round_trips(self):
+        from repro.explore import explore
+
+        byz = ExploreScenario(
+            "fast-byzantine",
+            ClusterConfig(S=3, t=1, R=1, b=1),
+            byzantine_budget=1,
+        )
+        result = explore(byz, depth=6, max_transitions=100_000)
+        ce = result.counterexamples[0]
+        payload = ce.to_dict()
+        payload["format"] = Counterexample.FORMAT_V2
+        payload.pop("accountability", None)
+        clone = Counterexample.from_dict(payload)
+        assert clone.format_version == Counterexample.FORMAT_V2
+        assert clone.accountability is None
+
+    def test_v3_artifact_keeps_its_accountability_section(self):
+        from repro.explore import explore
+
+        byz = ExploreScenario(
+            "fast-byzantine",
+            ClusterConfig(S=3, t=1, R=1, b=1),
+            byzantine_budget=1,
+        )
+        ce = explore(byz, depth=6, max_transitions=100_000).counterexamples[0]
+        assert ce.format_version == Counterexample.FORMAT_V3
+        clone = Counterexample.from_dict(ce.to_dict())
+        assert clone.accountability == ce.accountability
+        assert clone.to_json() == ce.to_json()
+
+    def test_future_schema_named_clearly(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(
+            SpecificationError, match="unsupported counterexample schema"
+        ) as excinfo:
+            Counterexample.from_dict({"format": "repro-counterexample/v9"})
+        assert "newer build" in str(excinfo.value)
+
+    def test_foreign_format_named_clearly(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(
+            SpecificationError, match="not a counterexample artifact"
+        ):
+            Counterexample.from_dict({"format": "repro-load-report/v1"})
+        with pytest.raises(
+            SpecificationError, match="not a counterexample artifact"
+        ):
+            Counterexample.from_dict({})
+
+    def test_pre_v3_payload_with_accountability_rejected(self):
+        from repro.errors import SpecificationError
+
+        payload = self._artifact().to_dict()
+        payload["accountability"] = {"verdict": "fraud-proof", "proof": None}
+        with pytest.raises(
+            SpecificationError, match="cannot carry an accountability"
+        ):
+            Counterexample.from_dict(payload)

@@ -302,16 +302,24 @@ class TestExploreByzantine:
         assert "lie:stale:" in out
         assert "lie:inflate-seen:" not in out
 
-    def test_save_and_replay_v2_round_trip(self, capsys, tmp_path):
+    def test_save_and_replay_v3_round_trip(self, capsys, tmp_path):
         save_dir = tmp_path / "ces"
         assert main(self.BEYOND_ARGS + ["--save", str(save_dir)]) == 1
         capsys.readouterr()
         files = sorted(save_dir.glob("fast-byzantine-*.json"))
         assert files
-        assert '"repro-counterexample/v2"' in files[0].read_text()
+        text = files[0].read_text()
+        # audited lie-bearing artifacts carry the certificate (v3)
+        assert '"repro-counterexample/v3"' in text
+        assert '"repro-fraud-proof/v1"' in text
         assert main(["explore", "--replay", str(files[0])]) == 0
         out = capsys.readouterr().out
         assert "history_identical: True" in out
+        assert "accountability_identical: True" in out
+        assert "certificate_verifies: True" in out
+        # and the standalone audit re-verifies it (exit 0)
+        assert main(["audit", str(files[0])]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
 
     def test_byzantine_budget_beyond_b_rejected(self, capsys):
         code = main(

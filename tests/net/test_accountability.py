@@ -1,0 +1,252 @@
+"""Accountability over real sockets and the `repro audit` CLI.
+
+The socket half of the overlay: servers sign replies into the optional
+wire-frame statement slot, the client pool verifies and retains them,
+shard transcripts merge into an audited load report, and the standalone
+`repro audit` command re-verifies artifacts with documented exit codes
+(0 = certificates verified, 1 = tampered, 3 = nothing to prove).
+"""
+
+import json
+
+from repro.accountability import audit_all
+from repro.cli import main
+from repro.net import run_net_workload
+from repro.registers.base import ClusterConfig
+
+
+class TestSocketStatements:
+    def test_accountable_run_collects_a_verified_transcript(self):
+        result = run_net_workload(
+            "fast-crash",
+            ClusterConfig(S=5, t=1, R=2),
+            reads_per_reader=3,
+            writes_per_writer=2,
+            seed=3,
+            accountable=True,
+        )
+        assert result.check_atomic().ok
+        transcript = result.transcript
+        assert transcript is not None
+        assert len(transcript) > 0
+        assert transcript.rejected == 0
+        assert audit_all(transcript) == []
+        # one statement per reply the pool consumed, from real servers
+        assert {str(pid) for pid in transcript.by_server()} <= {
+            f"s{i}" for i in range(1, 6)
+        }
+
+    def test_transcript_survives_serialization(self):
+        from repro.accountability import TranscriptLog
+
+        result = run_net_workload(
+            "abd",
+            ClusterConfig(S=3, t=1, R=1),
+            reads_per_reader=2,
+            writes_per_writer=1,
+            seed=1,
+            accountable=True,
+        )
+        payload = json.loads(json.dumps(result.transcript.to_dict()))
+        revived = TranscriptLog.from_dict(payload)
+        assert revived.to_dict() == result.transcript.to_dict()
+        assert audit_all(revived) == []
+
+    def test_plain_runs_have_no_transcript_and_no_statements(self):
+        result = run_net_workload(
+            "abd",
+            ClusterConfig(S=3, t=1, R=1),
+            reads_per_reader=2,
+            writes_per_writer=1,
+            seed=1,
+        )
+        assert result.transcript is None
+
+
+class TestWireStatementHandling:
+    def make_pool(self):
+        from repro.net.client import ClientPool
+        from repro.sim.ids import server
+
+        addrs = {server(i): ("127.0.0.1", 7400 + i) for i in (1, 2, 3)}
+        return ClientPool(
+            addrs,
+            seed=0,
+            collect_statements=True,
+            statement_seed=0,
+        )
+
+    def forged(self):
+        """A syntactically valid statement whose signature is garbage."""
+        from repro.accountability import sign_statement
+        from repro.crypto.signatures import SignatureAuthority
+        from repro.registers import messages as msg
+        from repro.registers.timestamps import ValueTag
+        from repro.sim.ids import reader, server, writer
+
+        stmt = sign_statement(
+            SignatureAuthority(seed=999),  # wrong signing domain
+            server=server(1),
+            seq=0,
+            client=reader(1),
+            op_id=1,
+            cause_kind="FastRead",
+            reply=msg.FastReadAck(
+                op_id=1,
+                tag=ValueTag(1, 1),
+                seen=frozenset({writer(1)}),
+                r_counter=0,
+            ),
+        )
+        return stmt.to_wire()
+
+    def test_forged_statement_rejected_not_fatal(self):
+        pool = self.make_pool()
+        pool._collect_statement(self.forged())
+        assert len(pool.transcript) == 0
+        assert pool.transcript.rejected == 1
+
+    def test_garbage_statement_rejected_not_fatal(self):
+        pool = self.make_pool()
+        pool._collect_statement({"server": "s1"})  # missing every field
+        assert len(pool.transcript) == 0
+        assert pool.transcript.rejected == 1
+
+    def test_codec_round_trips_the_statement_slot(self):
+        from repro.net.codec import HEADER, get_codec
+        from repro.registers import messages as msg
+        from repro.registers.timestamps import ValueTag
+        from repro.sim.ids import reader, server
+
+        codec = get_codec()
+        reply = msg.QueryReply(op_id=1, tag=ValueTag(1, 1))
+        frame = codec.encode_frame(
+            server(1), reader(1), reply, statement={"k": "v"}
+        )
+        body = frame[HEADER.size:]
+        src, dst, payload, statement = codec.decode_body_full(body)
+        assert (src, dst, payload) == (server(1), reader(1), reply)
+        assert statement == {"k": "v"}
+        # the 3-tuple decoder ignores the slot (back-compat)
+        assert codec.decode_body(body) == (src, dst, payload)
+        # and frames without the slot decode to None
+        plain = codec.encode_frame(server(1), reader(1), reply)
+        assert codec.decode_body_full(plain[HEADER.size:])[3] is None
+
+
+class TestAuditCommand:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        return str(path)
+
+    def v3_artifact(self):
+        from repro.explore import ExploreScenario, explore
+
+        scenario = ExploreScenario(
+            "fast-byzantine",
+            ClusterConfig(S=3, t=1, R=1, b=1),
+            byzantine_budget=1,
+        )
+        result = explore(scenario, depth=6, max_transitions=100_000)
+        return result.counterexamples[0]
+
+    def test_verified_certificate_exits_0(self, capsys, tmp_path):
+        ce = self.v3_artifact()
+        code = main(["audit", self.write(tmp_path, ce.to_dict())])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFIED" in out
+
+    def test_bare_fraud_proof_exits_0(self, capsys, tmp_path):
+        ce = self.v3_artifact()
+        code = main(["audit", self.write(tmp_path, ce.accountability["proof"])])
+        assert code == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_tampered_certificate_exits_1(self, capsys, tmp_path):
+        ce = self.v3_artifact()
+        proof = json.loads(json.dumps(ce.accountability["proof"]))
+        proof["first"]["seq"] += 1
+        code = main(["audit", self.write(tmp_path, proof)])
+        assert code == 1
+        assert "TAMPERED" in capsys.readouterr().out
+
+    def test_pre_v3_counterexample_exits_3(self, capsys, tmp_path):
+        ce = self.v3_artifact()
+        payload = ce.to_dict()
+        payload["format"] = "repro-counterexample/v2"
+        del payload["accountability"]
+        code = main(["audit", self.write(tmp_path, payload)])
+        assert code == 3
+
+    def test_clean_load_report_exits_3(self, capsys, tmp_path):
+        payload = {
+            "format": "repro-load-report/v1",
+            "accountability": {
+                "statements": 10,
+                "rejected": 0,
+                "accusations": [],
+                "accused": [],
+            },
+        }
+        code = main(["audit", self.write(tmp_path, payload)])
+        assert code == 3
+        assert "no proof extractable" in capsys.readouterr().out
+
+    def test_unknown_artifact_exits_2(self, capsys, tmp_path):
+        code = main(["audit", self.write(tmp_path, {"format": "bogus/v1"})])
+        assert code == 2
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["audit", "/nonexistent/artifact.json"]) == 2
+
+
+class TestLoadAudit:
+    def test_load_audit_end_to_end(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "4",
+                "--ops", "2",
+                "--workers", "2",
+                "--write-interval", "0.02",
+                "--audit",
+                "--out", str(out_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "accountability" in captured.out
+        assert "0 accusation(s)" in captured.out
+        payload = json.loads(out_file.read_text())
+        accountability = payload["accountability"]
+        assert accountability["statements"] > 0
+        assert accountability["rejected"] == 0
+        assert accountability["accusations"] == []
+        # and the saved report feeds straight into `repro audit`
+        assert main(["audit", str(out_file)]) == 3
+
+    def test_load_without_audit_reports_none(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main(
+            [
+                "load",
+                "--protocol", "abd",
+                "--servers", "3",
+                "--t", "1",
+                "--clients", "2",
+                "--ops", "1",
+                "--workers", "1",
+                "--write-interval", "0.02",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["accountability"] is None
+        assert "accountability" not in capsys.readouterr().out
