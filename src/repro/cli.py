@@ -471,9 +471,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.errors import ReproError
+    from repro.net.codec import default_serializer
     from repro.net.server import NetServer, start_servers
 
     config = config_from_args(args)
+    serializer = args.serializer or default_serializer()
 
     async def run() -> None:
         if args.index is not None:
@@ -484,7 +486,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=args.host,
                 port=args.base_port,
                 seed=args.seed,
-                serializer=args.serializer,
+                serializer=serializer,
                 enforce=not args.no_enforce,
                 accountable=args.accountable,
             )
@@ -497,7 +499,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=args.host,
                 base_port=args.base_port,
                 seed=args.seed,
-                serializer=args.serializer,
+                serializer=serializer,
                 enforce=not args.no_enforce,
                 accountable=args.accountable,
             )
@@ -567,10 +569,12 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
     from repro.errors import ReproError
     from repro.net.chaos import build_run_record, plan_summary
+    from repro.net.codec import default_serializer
     from repro.net.harness import ChaosEventDriver, ServerCluster
     from repro.net.loadgen import LoadSpec, run_load, sim_rounds_check
     from repro.analysis.report import render_load_report
 
+    serializer = args.serializer or default_serializer()
     ops = args.ops
     if ops is None and args.duration is None:
         ops = 10  # default stop rule: a short fixed-ops run
@@ -595,7 +599,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 host=args.host,
                 base_port=args.base_port,
                 seed=args.seed,
-                serializer=args.serializer,
+                serializer=serializer,
                 enforce=False,
                 accountable=args.audit,
             )
@@ -621,7 +625,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             write_interval=args.write_interval,
             shards=args.workers,
             seed=args.seed,
-            serializer=args.serializer,
+            serializer=serializer,
             timeout=args.timeout,
             ramp=args.ramp,
             chaos=plan,
@@ -669,6 +673,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
             plan,
             report.chaos_shards,
             t=spec.t,
+            serializer=serializer,
             events=driver.executed if driver is not None else [],
             summary={
                 "ops_complete": report.ops_complete,
@@ -1066,7 +1071,8 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--serializer",
         default=None,
-        help="wire serializer (json; msgpack when installed)",
+        help="wire serializer (default binary; also json, and msgpack "
+        "when installed)",
     )
     srv.add_argument(
         "--no-enforce",
@@ -1142,7 +1148,8 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument(
         "--serializer",
         default=None,
-        help="wire serializer (json; msgpack when installed)",
+        help="wire serializer (default binary; also json, and msgpack "
+        "when installed)",
     )
     load.add_argument(
         "--sim-check",

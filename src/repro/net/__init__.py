@@ -8,9 +8,11 @@ virtual-time event queue.
 
 Modules:
 
-* :mod:`repro.net.codec` — wire framing (length prefix, JSON or the
-  optional msgpack serializer) over the versioned
-  ``to_wire``/``from_wire`` dicts of :mod:`repro.registers.messages`.
+* :mod:`repro.net.codec` — wire framing (length prefix; the hand-rolled
+  ``repro-bin/v1`` binary serializer, JSON, or the optional msgpack
+  serializer) over the message registry of
+  :mod:`repro.registers.messages`, plus the per-connection serializer
+  preamble and the zero-copy :class:`FrameBuffer`.
 * :mod:`repro.net.runtime` — :class:`AsyncRuntime`, the seam
   implementation: monotonic clock, route-table delivery, client-phase
   (round) accounting.
@@ -39,7 +41,16 @@ from repro.net.chaos import (
     build_run_record,
     verify_run_record,
 )
-from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.codec import (
+    BINARY_FORMAT,
+    Codec,
+    FrameBuffer,
+    available_serializers,
+    default_serializer,
+    encode_preamble,
+    get_codec,
+    preamble_serializer,
+)
 from repro.net.client import ClientPool
 from repro.net.harness import (
     ChaosEventDriver,
@@ -63,6 +74,7 @@ from repro.net.server import (
 
 __all__ = [
     "AsyncRuntime",
+    "BINARY_FORMAT",
     "BackoffPolicy",
     "ChaosEventDriver",
     "ChaosInjector",
@@ -80,9 +92,13 @@ __all__ = [
     "ServerCluster",
     "ServerEvent",
     "UNSUPPORTED_PROTOCOLS",
+    "available_serializers",
     "build_net_cluster",
     "build_run_record",
+    "default_serializer",
+    "encode_preamble",
     "get_codec",
+    "preamble_serializer",
     "run_load",
     "run_net_workload",
     "sim_rounds_check",

@@ -743,6 +743,7 @@ def build_run_record(
     t: int,
     events: Optional[List[Dict[str, Any]]] = None,
     summary: Optional[Dict[str, Any]] = None,
+    serializer: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The serialized artifact a chaotic run leaves behind.
 
@@ -750,8 +751,14 @@ def build_run_record(
     injector's counters + digests (so :func:`verify_run_record` can
     prove the injected-fault trace re-derives byte-identically), the
     kill/restart events actually executed, and a result summary.
+
+    ``serializer`` names the wire codec the run used.  It is recorded
+    for provenance only: injection decisions are drawn per *frame* from
+    counter-keyed streams (never from frame bytes), so digests replay
+    identically whichever serializer framed the traffic — the same plan
+    under ``json`` and ``binary`` verifies byte-for-byte either way.
     """
-    return {
+    record = {
         "format": RUN_FORMAT,
         "plan": plan.to_dict(),
         "declared_t": t,
@@ -761,6 +768,9 @@ def build_run_record(
         "events_executed": events or [],
         "summary": summary or {},
     }
+    if serializer is not None:
+        record["serializer"] = serializer
+    return record
 
 
 def verify_run_record(record: Dict[str, Any]) -> Dict[str, Any]:

@@ -40,7 +40,13 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ProtocolError, SimulationError
 from repro.net.chaos import BackoffPolicy, ChaosInjector, DegradationLedger
-from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.codec import (
+    Codec,
+    FrameBuffer,
+    encode_preamble,
+    get_codec,
+    preamble_serializer,
+)
 from repro.net.runtime import AsyncRuntime
 from repro.sim.ids import ProcessId
 from repro.sim.process import Process
@@ -57,9 +63,16 @@ class PoolConnection(asyncio.Protocol):
         self.transport: Optional[asyncio.Transport] = None
         self.buffer = FrameBuffer()
         self.lost = asyncio.get_running_loop().create_future()
+        # Resolves to the server's announced serializer (its preamble
+        # ack); legacy peers never resolve it and are tolerated.
+        self.preamble: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._batch: Optional[List[bytes]] = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport
+        # Announce our serializer first thing; bypasses chaos and
+        # batching — connection plumbing, not protocol traffic.
+        transport.write(encode_preamble(self.pool.codec.serializer))
 
     def data_received(self, data: bytes) -> None:
         try:
@@ -67,8 +80,13 @@ class PoolConnection(asyncio.Protocol):
         except ProtocolError:
             self.close()
             return
-        for body in bodies:
-            self.pool.handle_frame(body, self.server_pid)
+        pool = self.pool
+        pool.begin_batch()
+        try:
+            for body in bodies:
+                pool.handle_frame(body, self.server_pid, self)
+        finally:
+            pool.flush_batch()
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         if not self.lost.done():
@@ -76,8 +94,23 @@ class PoolConnection(asyncio.Protocol):
         self.pool.connection_down(self.server_pid, self)
 
     def send_frame(self, frame: bytes) -> None:
-        if self.transport is not None and not self.transport.is_closing():
+        if self._batch is not None:
+            self._batch.append(frame)
+        elif self.transport is not None and not self.transport.is_closing():
             self.transport.write(frame)
+
+    def begin_batch(self) -> None:
+        """Coalesce subsequent ``send_frame`` calls until :meth:`flush`."""
+        if self._batch is None:
+            self._batch = []
+
+    def flush(self) -> None:
+        frames, self._batch = self._batch, None
+        if frames and self.transport is not None and not self.transport.is_closing():
+            if len(frames) == 1:
+                self.transport.write(frames[0])
+            else:
+                self.transport.writelines(frames)
 
     def close(self) -> None:
         if self.transport is not None:
@@ -108,6 +141,10 @@ class ClientPool:
         statement_seed: the *cluster* seed the servers sign under (the
             pool's own ``seed`` is a derived per-shard stream, so it
             cannot double as the signing domain).
+        preamble_timeout: how long ``connect`` waits for the servers'
+            serializer preamble acks; peers that never ack (legacy
+            builds) are tolerated, peers that ack a different
+            serializer raise :class:`~repro.errors.ProtocolError`.
     """
 
     def __init__(
@@ -123,6 +160,7 @@ class ClientPool:
         backoff: Optional[BackoffPolicy] = None,
         collect_statements: bool = False,
         statement_seed: int = 0,
+        preamble_timeout: float = 2.0,
     ) -> None:
         self.server_addrs = dict(server_addrs)
         self.codec: Codec = get_codec(serializer)
@@ -142,6 +180,9 @@ class ClientPool:
 
             self._stmt_authority = SignatureAuthority(statement_seed)
             self.transcript = TranscriptLog(authority_seed=statement_seed)
+        self.preamble_timeout = preamble_timeout
+        self.preamble_mismatches = 0
+        self._mismatch: Optional[Tuple[Optional[ProcessId], str]] = None
         self._conns: Dict[ProcessId, PoolConnection] = {}
         self._waiters: Dict[ProcessId, asyncio.Future] = {}
         self._reconnect_tasks: Dict[ProcessId, asyncio.Task] = {}
@@ -190,6 +231,31 @@ class ClientPool:
             )
         for pid in unreachable:
             self._spawn_reconnect(pid)
+        await self._negotiate()
+
+    async def _negotiate(self) -> None:
+        """Await the servers' preamble acks, failing loudly on mismatch.
+
+        A peer that never acks (a pre-preamble build) is tolerated after
+        ``preamble_timeout`` — it can only work if it happens to speak
+        the same serializer, which is exactly the old contract.  A peer
+        that acks a *different* serializer is a configuration error and
+        raises instead of surfacing as a silent decode storm.
+        """
+        futures = [
+            conn.preamble for conn in self._conns.values() if not conn.preamble.done()
+        ]
+        if futures:
+            await asyncio.wait(futures, timeout=self.preamble_timeout)
+        self._check_mismatch()
+
+    def _check_mismatch(self) -> None:
+        if self._mismatch is not None:
+            pid, name = self._mismatch
+            raise ProtocolError(
+                f"serializer mismatch: server {pid} speaks {name!r}, "
+                f"this pool speaks {self.codec.serializer!r}"
+            )
 
     async def close(self) -> None:
         self._closed = True
@@ -235,9 +301,30 @@ class ClientPool:
         else:
             conn.send_frame(frame)
 
+    def begin_batch(self) -> None:
+        """Start coalescing outbound frames on every live connection.
+
+        Between ``begin_batch`` and ``flush_batch`` all frames queued to
+        one connection leave in a single ``writelines`` (writev-style)
+        call — one syscall per server per tick instead of one per frame.
+        """
+        for conn in self._conns.values():
+            conn.begin_batch()
+
+    def flush_batch(self) -> None:
+        for conn in self._conns.values():
+            conn.flush()
+
     def handle_frame(
-        self, body: bytes, server_pid: Optional[ProcessId] = None
+        self,
+        body: bytes,
+        server_pid: Optional[ProcessId] = None,
+        conn: Optional[PoolConnection] = None,
     ) -> None:
+        name = preamble_serializer(body)
+        if name is not None:
+            self._preamble_received(server_pid, name, conn)
+            return
         try:
             src, dst, payload, statement = self.codec.decode_body_full(body)
         except ProtocolError:
@@ -252,6 +339,20 @@ class ClientPool:
             )
         else:
             self.runtime.deliver(src, dst, payload)
+
+    def _preamble_received(
+        self,
+        server_pid: Optional[ProcessId],
+        name: str,
+        conn: Optional[PoolConnection],
+    ) -> None:
+        if conn is not None and not conn.preamble.done():
+            conn.preamble.set_result(name)
+        if name != self.codec.serializer:
+            self.preamble_mismatches += 1
+            self._mismatch = (server_pid, name)
+            if conn is not None:
+                conn.close()
 
     def _collect_statement(self, statement: Dict[str, Any]) -> None:
         """Verify and retain one frame's accountability statement.
@@ -339,11 +440,15 @@ class ClientPool:
         if not frames:
             return
         sent = 0
-        for dst, frame in list(frames):
-            conn = self._conns.get(dst)
-            if conn is not None:
-                self._send(conn, dst, frame)
-                sent += 1
+        self.begin_batch()
+        try:
+            for dst, frame in list(frames):
+                conn = self._conns.get(dst)
+                if conn is not None:
+                    self._send(conn, dst, frame)
+                    sent += 1
+        finally:
+            self.flush_batch()
         if sent:
             self.ledger.retransmits += 1
 
@@ -372,10 +477,12 @@ class ClientPool:
         started = time.monotonic()
         try:
             self._recording = []
+            self.begin_batch()
             try:
                 op = self.runtime.invoke(pid, kind, value)
                 self._inflight[op.op_id] = self._recording
             finally:
+                self.flush_batch()
                 self._recording = None
             result = await self._await_response(waiter, op.op_id, timeout)
             self.ledger.op_completed(time.monotonic() - started)

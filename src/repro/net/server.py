@@ -26,7 +26,13 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.net.chaos import ChaosInjector, FaultPlan
-from repro.net.codec import Codec, FrameBuffer, get_codec
+from repro.net.codec import (
+    Codec,
+    FrameBuffer,
+    encode_preamble,
+    get_codec,
+    preamble_serializer,
+)
 from repro.net.runtime import AsyncRuntime
 from repro.registers.base import Cluster, ClusterConfig
 from repro.registers.messages import SERVER_REPLIES
@@ -70,10 +76,14 @@ class ServerConnection(asyncio.Protocol):
         self.buffer = FrameBuffer()
         #: Client pids whose replies route over this connection.
         self.claimed: Set[ProcessId] = set()
+        self._batch: Optional[list] = None
 
     def connection_made(self, transport: asyncio.BaseTransport) -> None:
         self.transport = transport
         self.server.connections.add(self)
+        # Announce our serializer; the pool awaits this ack.  Bypasses
+        # chaos and batching — plumbing, not protocol traffic.
+        transport.write(encode_preamble(self.server.codec.serializer))
 
     def data_received(self, data: bytes) -> None:
         try:
@@ -82,15 +92,35 @@ class ServerConnection(asyncio.Protocol):
             # Framing desync is unrecoverable for this connection only.
             self.close()
             return
-        for body in bodies:
-            self.server.handle_frame(self, body)
+        server = self.server
+        server.begin_batch()
+        try:
+            for body in bodies:
+                server.handle_frame(self, body)
+        finally:
+            server.flush_batch()
 
     def connection_lost(self, exc: Optional[Exception]) -> None:
         self.server.forget_connection(self)
 
     def send_frame(self, frame: bytes) -> None:
-        if self.transport is not None and not self.transport.is_closing():
+        if self._batch is not None:
+            self._batch.append(frame)
+        elif self.transport is not None and not self.transport.is_closing():
             self.transport.write(frame)
+
+    def begin_batch(self) -> None:
+        """Coalesce subsequent ``send_frame`` calls until :meth:`flush`."""
+        if self._batch is None:
+            self._batch = []
+
+    def flush(self) -> None:
+        frames, self._batch = self._batch, None
+        if frames and self.transport is not None and not self.transport.is_closing():
+            if len(frames) == 1:
+                self.transport.write(frames[0])
+            else:
+                self.transport.writelines(frames)
 
     def close(self) -> None:
         if self.transport is not None:
@@ -166,6 +196,7 @@ class NetServer:
         self.frames_in = 0
         self.frames_bad = 0
         self.statements_signed = 0
+        self.preamble_mismatches = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -195,7 +226,24 @@ class NetServer:
     # ------------------------------------------------------------------
     # frame plumbing
 
+    def begin_batch(self) -> None:
+        """Start coalescing outbound frames on every live connection."""
+        for conn in self.connections:
+            conn.begin_batch()
+
+    def flush_batch(self) -> None:
+        for conn in list(self.connections):
+            conn.flush()
+
     def handle_frame(self, conn: ServerConnection, body: bytes) -> None:
+        name = preamble_serializer(body)
+        if name is not None:
+            if name != self.codec.serializer:
+                # Loud, early, and final: the peer cannot talk to us.
+                # Our own preamble (already sent) tells it why.
+                self.preamble_mismatches += 1
+                conn.close()
+            return
         try:
             src, dst, payload = self.codec.decode_body(body)
         except ProtocolError:

@@ -322,3 +322,16 @@ SERVER_REPLIES = (FastReadAck, FastWriteAck, QueryReply, StoreAck, MaxMinReadAck
 MESSAGE_TYPES = {
     cls.__name__: cls for cls in (*CLIENT_REQUESTS, *SERVER_REPLIES, MaxMinGossip)
 }
+
+#: One-byte kind codes of the binary serializer (``repro-bin/v1``): the
+#: registry sorted by class name, numbered from 1.  Kind byte 0 is
+#: reserved, and bytes >= 0x80 never name a kind — JSON bodies start at
+#: ``{`` (0x7B is below 0x80 but is also never a kind because the table
+#: stops at ``len(MESSAGE_TYPES)``), msgpack maps at 0x8x and the
+#: connection preamble at 0xA5, so the first body byte identifies the
+#: framing unambiguously.  Renaming or adding a message type re-numbers
+#: the table: that is a wire-format change and must bump
+#: :data:`WIRE_VERSION`.
+WIRE_KIND_BYTES: Dict[str, int] = {
+    name: index for index, name in enumerate(sorted(MESSAGE_TYPES), start=1)
+}

@@ -64,6 +64,50 @@ class TestVerdictParity:
         assert verdict.ok, verdict.describe()
 
 
+class TestBinarySerializerParity:
+    """The binary wire codec must be observationally identical to json:
+    same workload, same seed, same verdicts, same round support."""
+
+    @pytest.mark.parametrize(
+        "case", [PARITY_CASES[0], PARITY_CASES[1], PARITY_CASES[4]], ids=_case_id
+    )
+    def test_binary_run_matches_json_run(self, case):
+        protocol, config, expected_rounds = case
+        spec = get_protocol(protocol)
+        runs = {
+            serializer: run_net_workload(
+                protocol, config,
+                reads_per_reader=4, writes_per_writer=3,
+                seed=11, serializer=serializer,
+            )
+            for serializer in ("json", "binary")
+        }
+        verdicts = {}
+        for serializer, result in runs.items():
+            assert not result.history.incomplete_operations, serializer
+            verdict = (
+                result.check_atomic() if spec.atomic else result.check_regular()
+            )
+            assert verdict.ok, f"{serializer}: {verdict.describe()}"
+            verdicts[serializer] = verdict.ok
+            if expected_rounds is not None:
+                assert set(result.read_rounds()) == expected_rounds, serializer
+        assert verdicts["binary"] == verdicts["json"]
+
+    def test_binary_accountable_run_collects_statements(self):
+        # Statements ride the binary statement section instead of the
+        # json "a" slot; collection and verification must be unaffected.
+        result = run_net_workload(
+            "abd", ClusterConfig(S=3, t=0, R=2),
+            reads_per_reader=3, writes_per_writer=2,
+            seed=6, serializer="binary", accountable=True,
+        )
+        assert result.check_atomic().ok
+        assert result.transcript is not None
+        assert result.transcript.statements
+        assert result.transcript.rejected == 0
+
+
 class TestCrashMidConnection:
     def test_reads_terminate_after_server_crash(self):
         # Kill s2 after the second response; t=1, so the remaining

@@ -12,7 +12,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.crypto.signatures import SignedPayload
 from repro.errors import ProtocolError
-from repro.net.codec import HEADER, MAX_FRAME, SERIALIZERS, Codec, FrameBuffer
+from repro.net.codec import (
+    HEADER,
+    MAX_FRAME,
+    Codec,
+    FrameBuffer,
+    available_serializers,
+)
 from repro.registers.messages import (
     MESSAGE_TYPES,
     WIRE_VERSION,
@@ -156,7 +162,7 @@ class TestWireRoundTrip:
 
 
 class TestCodecFrames:
-    @pytest.mark.parametrize("serializer", sorted(SERIALIZERS))
+    @pytest.mark.parametrize("serializer", available_serializers())
     @given(message=messages, src=pids, dst=pids, data=st.data())
     @settings(max_examples=150, deadline=None)
     def test_frame_round_trip_chunked(self, serializer, message, src, dst, data):
